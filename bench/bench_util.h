@@ -1,0 +1,92 @@
+#ifndef CCSIM_BENCH_BENCH_UTIL_H_
+#define CCSIM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "config/params.h"
+#include "runner/experiment.h"
+#include "runner/report.h"
+
+namespace ccsim::bench {
+
+/// Client-count sweep used by every §4/§5 experiment (paper Table 5).
+inline const std::vector<int> kClientCounts = {2, 10, 30, 50};
+
+/// The four inter-transaction algorithms compared in §5.
+struct AlgorithmUnderTest {
+  config::Algorithm algorithm;
+  config::CachingMode caching;
+  const char* label;
+};
+
+inline const std::vector<AlgorithmUnderTest> kSection5Algorithms = {
+    {config::Algorithm::kTwoPhaseLocking,
+     config::CachingMode::kInterTransaction, "2PL"},
+    {config::Algorithm::kCallbackLocking,
+     config::CachingMode::kInterTransaction, "callback"},
+    {config::Algorithm::kNoWaitLocking,
+     config::CachingMode::kInterTransaction, "no-wait"},
+    {config::Algorithm::kNoWaitNotify,
+     config::CachingMode::kInterTransaction, "no-wait+notify"},
+};
+
+/// Applies CCSIM_SCALE / CCSIM_SEED and runs one configuration (fatal on an
+/// invalid configuration — bench configs are code, not user input).
+class BenchRunner {
+ public:
+  BenchRunner() : scale_(runner::ReadBenchScale()) {}
+
+  runner::RunResult Run(config::ExperimentConfig cfg) const {
+    cfg.control.seed = scale_.seed;
+    cfg.control.target_commits = static_cast<std::uint64_t>(
+        static_cast<double>(cfg.control.target_commits) * scale_.scale);
+    if (cfg.control.target_commits < 200) {
+      cfg.control.target_commits = 200;
+    }
+    return runner::RunExperiment(cfg).ValueOrDie();
+  }
+
+  /// Sweeps NClients for one algorithm; returns one RunResult per count.
+  std::vector<runner::RunResult> SweepClients(
+      config::ExperimentConfig cfg, const AlgorithmUnderTest& alg) const {
+    std::vector<runner::RunResult> out;
+    cfg.algorithm.algorithm = alg.algorithm;
+    cfg.algorithm.caching = alg.caching;
+    for (int clients : kClientCounts) {
+      cfg.system.num_clients = clients;
+      out.push_back(Run(cfg));
+    }
+    return out;
+  }
+
+ private:
+  runner::BenchScale scale_;
+};
+
+/// Prints a figure: rows = client counts, one response-time (or throughput)
+/// column per algorithm series.
+inline void PrintFigure(const std::string& title,
+                        const std::vector<std::string>& series_names,
+                        const std::vector<std::vector<double>>& series,
+                        const char* metric, int digits = 3) {
+  std::vector<std::string> columns = {"clients"};
+  for (const std::string& name : series_names) {
+    columns.push_back(name + " " + metric);
+  }
+  runner::Table table(title, columns);
+  for (std::size_t row = 0; row < kClientCounts.size(); ++row) {
+    std::vector<std::string> cells = {
+        std::to_string(kClientCounts[row])};
+    for (const auto& s : series) {
+      cells.push_back(runner::Table::Num(s[row], digits));
+    }
+    table.AddRow(std::move(cells));
+  }
+  table.Print();
+}
+
+}  // namespace ccsim::bench
+
+#endif  // CCSIM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,60 @@
+// Reproduces §5.1 Figures 12(a) and 12(b): transaction throughput for the
+// short-transaction experiment at medium (0.25) and very high (0.75)
+// locality, medium write probability (0.2). The paper notes the throughput
+// ranking matches the response-time ranking (Figures 9(b) and 11(b)).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using ccsim::bench::AlgorithmUnderTest;
+using ccsim::bench::BenchRunner;
+using ccsim::bench::kSection5Algorithms;
+using ccsim::bench::PrintFigure;
+using ccsim::config::ExperimentConfig;
+using ccsim::runner::RunResult;
+
+ExperimentConfig Base(double locality) {
+  ExperimentConfig cfg = ccsim::config::BaseConfig();
+  cfg.transaction.inter_xact_loc = locality;
+  cfg.transaction.prob_write = 0.2;
+  cfg.control.warmup_seconds = 30;
+  cfg.control.target_commits = 3000;
+  cfg.control.max_measure_seconds = 400;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  BenchRunner runner;
+  const struct {
+    const char* title;
+    double locality;
+  } kFigures[] = {
+      {"Figure 12(a) throughput, Loc=0.25, ProbWrite=0.2", 0.25},
+      {"Figure 12(b) throughput, Loc=0.75, ProbWrite=0.2", 0.75},
+  };
+  for (const auto& figure : kFigures) {
+    std::vector<std::string> names;
+    std::vector<std::vector<double>> series;
+    for (const AlgorithmUnderTest& alg : kSection5Algorithms) {
+      names.push_back(alg.label);
+      std::vector<double> values;
+      for (const RunResult& r :
+           runner.SweepClients(Base(figure.locality), alg)) {
+        values.push_back(r.throughput_tps);
+      }
+      series.push_back(std::move(values));
+    }
+    PrintFigure(figure.title, names, series, "tput", 2);
+  }
+  std::printf(
+      "\nPaper check: same ranking as the response-time figures 9(b) and "
+      "11(b).\n");
+  return 0;
+}

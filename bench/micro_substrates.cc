@@ -1,0 +1,137 @@
+// google-benchmark micro-benchmarks for the simulation substrates: event
+// calendar throughput, coroutine process switching, FCFS resources, the
+// lock manager, the LRU table, and the RNG. These gate the wall-clock cost
+// of the paper-scale experiments (hundreds of runs per figure).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "lock/lock_manager.h"
+#include "sim/event.h"
+#include "sim/process.h"
+#include "sim/random.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "util/lru.h"
+
+namespace ccsim {
+namespace {
+
+void BM_CalendarScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int sink = 0;
+    for (int i = 0; i < 1024; ++i) {
+      sim.ScheduleAt(i, [&sink] { ++sink; });
+    }
+    sim.Run(1 << 20);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_CalendarScheduleRun);
+
+sim::Process Ticker(sim::Simulator& sim, int steps) {
+  for (int i = 0; i < steps; ++i) {
+    co_await sim.Delay(1);
+  }
+}
+
+void BM_ProcessContextSwitch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim.Spawn(Ticker(sim, 4096));
+    sim.Run(1 << 20);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_ProcessContextSwitch);
+
+sim::Process ResourceUser(sim::Simulator& sim, sim::Resource& resource,
+                          int uses) {
+  (void)sim;
+  for (int i = 0; i < uses; ++i) {
+    co_await resource.Use(3);
+  }
+}
+
+void BM_ResourceFcfsContention(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Resource cpu(&sim, "cpu", 2);
+    for (int p = 0; p < 8; ++p) {
+      sim.Spawn(ResourceUser(sim, cpu, 512));
+    }
+    sim.Run(1 << 24);
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 512);
+}
+BENCHMARK(BM_ResourceFcfsContention);
+
+sim::Process LockerProcess(sim::Simulator& sim, lock::LockManager& locks,
+                           lock::OwnerId owner, int rounds) {
+  sim::Pcg32 rng(owner, owner);
+  for (int i = 0; i < rounds; ++i) {
+    const db::PageId page = static_cast<db::PageId>(rng.UniformInt(0, 255));
+    const lock::LockMode mode = rng.Bernoulli(0.2)
+                                    ? lock::LockMode::kExclusive
+                                    : lock::LockMode::kShared;
+    const lock::LockOutcome outcome = co_await locks.Acquire(owner, page, mode);
+    if (outcome == lock::LockOutcome::kGranted) {
+      co_await sim.Delay(1);
+      locks.ReleaseAll(owner);
+    }
+  }
+}
+
+void BM_LockManagerContention(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    lock::LockManager locks(&sim);
+    for (lock::OwnerId owner = 1; owner <= 16; ++owner) {
+      sim.Spawn(LockerProcess(sim, locks, owner, 256));
+    }
+    sim.Run(1 << 24);
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * 256);
+}
+BENCHMARK(BM_LockManagerContention);
+
+void BM_LruTableChurn(benchmark::State& state) {
+  LruTable<int, int> lru;
+  sim::Pcg32 rng(1, 2);
+  for (int i = 0; i < 100; ++i) {
+    lru.Insert(i, i);
+  }
+  int next_key = 100;
+  for (auto _ : state) {
+    const int key = static_cast<int>(rng.UniformInt(0, next_key - 1));
+    if (lru.Touch(key) == nullptr) {
+      const auto* victim = lru.VictimCandidate();
+      if (victim != nullptr) {
+        lru.Erase(victim->key);
+      }
+      lru.Insert(next_key++, 0);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruTableChurn);
+
+void BM_Pcg32Exponential(benchmark::State& state) {
+  sim::Pcg32 rng(7, 9);
+  double sink = 0;
+  for (auto _ : state) {
+    sink += rng.Exponential(2.0);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Pcg32Exponential);
+
+}  // namespace
+}  // namespace ccsim
+
+BENCHMARK_MAIN();

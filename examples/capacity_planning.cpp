@@ -1,0 +1,93 @@
+// Capacity planning: how many client workstations can one server support
+// before mean response time exceeds an SLO?
+//
+// Sweeps the client count upward for a chosen algorithm and workload and
+// reports the knee of the response-time curve together with the resource
+// that saturates first — the kind of question the paper's §5.3/§5.4
+// bottleneck analysis answers.
+//
+//   $ ./build/examples/capacity_planning [slo_seconds] [locality] [pw]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "config/params.h"
+#include "runner/experiment.h"
+#include "runner/report.h"
+
+namespace {
+
+using ccsim::config::Algorithm;
+using ccsim::config::ExperimentConfig;
+using ccsim::runner::RunResult;
+using ccsim::runner::Table;
+
+const char* Bottleneck(const RunResult& r) {
+  const double util[] = {r.server_cpu_util, r.network_util,
+                         r.data_disk_util, r.client_cpu_util};
+  const char* names[] = {"server CPU", "network", "data disks",
+                         "client CPU"};
+  int argmax = 0;
+  for (int i = 1; i < 4; ++i) {
+    if (util[i] > util[argmax]) {
+      argmax = i;
+    }
+  }
+  return util[argmax] > 0.85 ? names[argmax] : "none (lock waits/think)";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double slo_s = argc > 1 ? std::atof(argv[1]) : 2.0;
+  const double locality = argc > 2 ? std::atof(argv[2]) : 0.5;
+  const double prob_write = argc > 3 ? std::atof(argv[3]) : 0.2;
+
+  std::printf("SLO: mean response <= %.2fs; locality %.2f, write "
+              "probability %.2f\n", slo_s, locality, prob_write);
+
+  const struct {
+    Algorithm algorithm;
+    const char* label;
+  } kAlgorithms[] = {
+      {Algorithm::kTwoPhaseLocking, "2PL"},
+      {Algorithm::kCallbackLocking, "callback"},
+      {Algorithm::kNoWaitNotify, "no-wait+notify"},
+  };
+
+  Table table("Supported clients under the SLO",
+              {"algorithm", "max clients", "resp(s) at max", "tput at max",
+               "bottleneck beyond"});
+  for (const auto& alg : kAlgorithms) {
+    int supported = 0;
+    RunResult at_max;
+    RunResult beyond;
+    for (int clients = 5; clients <= 80; clients += 5) {
+      ExperimentConfig cfg = ccsim::config::BaseConfig();
+      cfg.system.num_clients = clients;
+      cfg.transaction.inter_xact_loc = locality;
+      cfg.transaction.prob_write = prob_write;
+      cfg.algorithm.algorithm = alg.algorithm;
+      cfg.control.warmup_seconds = 30;
+      cfg.control.target_commits = 1500;
+      cfg.control.max_measure_seconds = 300;
+      const RunResult r =
+          ccsim::runner::RunExperiment(cfg).ValueOrDie();
+      if (r.mean_response_s <= slo_s) {
+        supported = clients;
+        at_max = r;
+      } else {
+        beyond = r;
+        break;
+      }
+    }
+    table.AddRow({alg.label,
+                  supported == 0 ? "<5" : std::to_string(supported),
+                  Table::Num(at_max.mean_response_s, 2),
+                  Table::Num(at_max.throughput_tps, 2),
+                  Bottleneck(beyond)});
+  }
+  table.Print();
+  return 0;
+}

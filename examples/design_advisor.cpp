@@ -1,0 +1,108 @@
+// Design advisor: "which consistency algorithm should my client/server
+// DBMS use?" — the practical question behind the paper's Figure 13.
+//
+// Describe your deployment on the command line and the advisor simulates
+// all five algorithms (plus caching modes) under your parameters and
+// ranks them by mean response time:
+//
+//   $ ./build/examples/design_advisor [clients] [locality] [prob_write]
+//   $ ./build/examples/design_advisor 30 0.6 0.1
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "config/params.h"
+#include "runner/experiment.h"
+#include "runner/report.h"
+
+namespace {
+
+using ccsim::config::Algorithm;
+using ccsim::config::CachingMode;
+using ccsim::config::ExperimentConfig;
+using ccsim::runner::RunResult;
+using ccsim::runner::Table;
+
+struct Candidate {
+  Algorithm algorithm;
+  CachingMode caching;
+};
+
+const Candidate kCandidates[] = {
+    {Algorithm::kTwoPhaseLocking, CachingMode::kIntraTransaction},
+    {Algorithm::kTwoPhaseLocking, CachingMode::kInterTransaction},
+    {Algorithm::kCertification, CachingMode::kInterTransaction},
+    {Algorithm::kCallbackLocking, CachingMode::kInterTransaction},
+    {Algorithm::kNoWaitLocking, CachingMode::kInterTransaction},
+    {Algorithm::kNoWaitNotify, CachingMode::kInterTransaction},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int clients = argc > 1 ? std::atoi(argv[1]) : 30;
+  const double locality = argc > 2 ? std::atof(argv[2]) : 0.5;
+  const double prob_write = argc > 3 ? std::atof(argv[3]) : 0.2;
+
+  std::printf("Evaluating %d clients, locality %.2f, write probability "
+              "%.2f...\n", clients, locality, prob_write);
+
+  struct Ranked {
+    std::string label;
+    RunResult result;
+  };
+  std::vector<Ranked> ranked;
+  for (const Candidate& candidate : kCandidates) {
+    ExperimentConfig cfg = ccsim::config::BaseConfig();
+    cfg.system.num_clients = clients;
+    cfg.transaction.inter_xact_loc = locality;
+    cfg.transaction.prob_write = prob_write;
+    cfg.algorithm.algorithm = candidate.algorithm;
+    cfg.algorithm.caching = candidate.caching;
+    cfg.control.warmup_seconds = 30;
+    cfg.control.target_commits = 2000;
+    cfg.control.max_measure_seconds = 400;
+    const ccsim::Result<RunResult> result = ccsim::runner::RunExperiment(cfg);
+    if (!result.ok()) {
+      std::fprintf(stderr, "skipping %s: %s\n",
+                   ccsim::config::AlgorithmLabel(candidate.algorithm,
+                                                 candidate.caching)
+                       .c_str(),
+                   result.status().ToString().c_str());
+      continue;
+    }
+    ranked.push_back(Ranked{ccsim::config::AlgorithmLabel(
+                                candidate.algorithm, candidate.caching),
+                            result.ValueOrDie()});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Ranked& a, const Ranked& b) {
+              return a.result.mean_response_s < b.result.mean_response_s;
+            });
+
+  Table table("Ranking (best first)",
+              {"algorithm", "resp(s)", "tput", "aborts", "srv cpu",
+               "net", "cache hit%"});
+  for (const Ranked& r : ranked) {
+    table.AddRow({r.label, Table::Num(r.result.mean_response_s, 3),
+                  Table::Num(r.result.throughput_tps, 2),
+                  Table::Int(r.result.aborts),
+                  Table::Num(r.result.server_cpu_util, 2),
+                  Table::Num(r.result.network_util, 2),
+                  Table::Num(r.result.client_hit_ratio * 100, 1)});
+  }
+  table.Print();
+
+  const Ranked& best = ranked.front();
+  std::printf("\nRecommendation: %s", best.label.c_str());
+  // Echo the paper's qualitative guidance when it applies.
+  if (best.result.mean_response_s >
+      0.95 * ranked[1].result.mean_response_s) {
+    std::printf(" (margin over %s is <5%%: either is fine)",
+                ranked[1].label.c_str());
+  }
+  std::printf("\n");
+  return 0;
+}

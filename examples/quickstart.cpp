@@ -1,0 +1,64 @@
+// Quickstart: configure a client/server DBMS simulation, run it, and read
+// the results.
+//
+//   $ ./build/examples/quickstart
+//
+// The library models the system of Wang & Rowe (SIGMOD '91): diskless
+// client workstations with page caches, a page server with buffer pool /
+// log / lock managers, a shared FCFS network, and one of five cache
+// consistency algorithms.
+
+#include <cstdio>
+
+#include "config/params.h"
+#include "runner/experiment.h"
+
+int main() {
+  // 1. Start from the paper's Table 5 base configuration...
+  ccsim::config::ExperimentConfig cfg = ccsim::config::BaseConfig();
+
+  // 2. ...describe the workload and system under study...
+  cfg.system.num_clients = 20;
+  cfg.transaction.prob_write = 0.2;      // 20% of read pages get updated
+  cfg.transaction.inter_xact_loc = 0.5;  // consecutive xacts share objects
+  cfg.algorithm.algorithm = ccsim::config::Algorithm::kCallbackLocking;
+
+  // 3. ...and control the measurement (warmup, then measure until 2000
+  // commits or 300 simulated seconds, whichever comes first).
+  cfg.control.seed = 1;
+  cfg.control.warmup_seconds = 20;
+  cfg.control.target_commits = 2000;
+  cfg.control.max_measure_seconds = 300;
+
+  const ccsim::Result<ccsim::runner::RunResult> result =
+      ccsim::runner::RunExperiment(cfg);
+  if (!result.ok()) {
+    std::fprintf(stderr, "configuration rejected: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const ccsim::runner::RunResult& r = result.ValueOrDie();
+
+  std::printf("algorithm           : %s\n",
+              ccsim::config::AlgorithmLabel(cfg.algorithm.algorithm,
+                                            cfg.algorithm.caching)
+                  .c_str());
+  std::printf("measured window     : %.1f simulated seconds\n",
+              r.measured_seconds);
+  std::printf("commits / aborts    : %llu / %llu\n",
+              static_cast<unsigned long long>(r.commits),
+              static_cast<unsigned long long>(r.aborts));
+  std::printf("mean response time  : %.3f s (+/- %.3f, ~90%% CI)\n",
+              r.mean_response_s, r.response_ci_s);
+  std::printf("throughput          : %.2f commits/s\n", r.throughput_tps);
+  std::printf("server CPU util     : %.2f\n", r.server_cpu_util);
+  std::printf("network util        : %.2f\n", r.network_util);
+  std::printf("data disk util      : %.2f\n", r.data_disk_util);
+  std::printf("client cache hits   : %.1f%%\n", r.client_hit_ratio * 100);
+  std::printf("server buffer hits  : %.1f%%\n",
+              r.server_buffer_hit_ratio * 100);
+  std::printf("messages (packets)  : %llu (%llu)\n",
+              static_cast<unsigned long long>(r.messages),
+              static_cast<unsigned long long>(r.packets));
+  return 0;
+}

@@ -1,0 +1,185 @@
+#include "client/client.h"
+
+#include <utility>
+
+#include "proto/protocol.h"
+#include "util/macros.h"
+
+namespace ccsim::client {
+
+namespace {
+/// Client ids occupy the low bits of transaction uids.
+constexpr std::uint64_t kUidClientBits = 10;
+}  // namespace
+
+Client::Client(sim::Simulator* simulator, int id,
+               const config::ExperimentConfig& config,
+               const db::DatabaseLayout* layout, net::Network* network,
+               runner::Metrics* metrics, sim::Pcg32 object_rng,
+               sim::Pcg32 delay_rng)
+    : simulator_(simulator), id_(id), config_(config), network_(network),
+      metrics_(metrics),
+      cpu_(simulator, "client" + std::to_string(id) + ".cpu",
+           config.system.num_client_cpus),
+      cache_(config.system.client_cache_pages),
+      generator_(config.EffectiveMix(), layout, object_rng, delay_rng),
+      inbox_(simulator) {
+  CCSIM_CHECK(id >= 0 && id < (1 << kUidClientBits) - 1);
+  client_proc_page_ticks_ = sim::CpuDemand(
+      config.system.client_proc_page_instr, config.system.client_mips);
+  const sim::Ticks msg_cost =
+      sim::CpuDemand(config.system.msg_cost_instr, config.system.client_mips);
+  network_->RegisterEndpoint(id, net::Network::Endpoint{&inbox_, &cpu_,
+                                                        msg_cost});
+}
+
+Client::~Client() = default;
+
+void Client::set_protocol(std::unique_ptr<proto::ClientProtocol> protocol) {
+  protocol_ = std::move(protocol);
+}
+
+void Client::Start() {
+  CCSIM_CHECK_MSG(protocol_ != nullptr, "set_protocol before Start");
+  simulator_->Spawn(Driver());
+  simulator_->Spawn(Dispatcher());
+}
+
+std::uint64_t Client::NewXactUid() {
+  ++xact_seq_;
+  return (xact_seq_ << kUidClientBits) |
+         static_cast<std::uint64_t>(id_ + 1);
+}
+
+void Client::NoteAbort(std::uint64_t xact,
+                       const std::vector<db::PageId>& stale) {
+  if (xact == 0 || xact != current_xact_) {
+    return;  // notice for an older attempt; already handled
+  }
+  if (!abort_flag_) {
+    abort_flag_ = true;
+    last_abort_kind_ = stale.empty() ? runner::AbortKind::kDeadlock
+                                     : runner::AbortKind::kStaleRead;
+  }
+  pending_stale_.insert(pending_stale_.end(), stale.begin(), stale.end());
+}
+
+sim::Task<net::Message> Client::Rpc(net::Message msg) {
+  last_rpc_type_ = msg.type;
+  last_rpc_at_ = simulator_->Now();
+  msg.src = id_;
+  msg.dst = net::kServerNode;
+  msg.request_id = next_request_id_++;
+  const std::uint64_t request_id = msg.request_id;
+  sim::OneShot<net::Message> slot(simulator_);
+  pending_.emplace(request_id, &slot);
+  co_await network_->Send(std::move(msg));
+  net::Message reply = co_await slot.Wait();
+  co_return reply;
+}
+
+sim::Task<void> Client::SendAsync(net::Message msg) {
+  msg.src = id_;
+  msg.dst = net::kServerNode;
+  msg.request_id = 0;
+  co_await network_->Send(std::move(msg));
+}
+
+sim::Task<void> Client::ChargePageProcessing(int pages) {
+  if (client_proc_page_ticks_ > 0 && pages > 0) {
+    co_await cpu_.Use(client_proc_page_ticks_ * pages);
+  }
+}
+
+sim::Task<void> Client::InstallPage(db::PageId page, CachedPage info) {
+  std::vector<ClientCache::Evicted> victims = cache_.Insert(page, info);
+  cache_.Pin(page);
+  if (!victims.empty()) {
+    co_await protocol_->HandleEvictions(std::move(victims));
+  }
+}
+
+sim::Task<void> Client::UpdateDelay() {
+  co_await UserDelay(generator_.SampleUpdateDelay(), /*defer_async=*/true);
+}
+
+sim::Task<void> Client::InternalDelay() {
+  co_await UserDelay(generator_.SampleInternalDelay(), /*defer_async=*/true);
+}
+
+sim::Task<void> Client::UserDelay(sim::Ticks delay, bool defer_async) {
+  if (delay > 0) {
+    // Asynchronous server messages are not processed while the application
+    // thinks inside a transaction (paper §5.5); the dispatcher defers them
+    // until the delay ends.
+    in_user_delay_ = defer_async;
+    co_await simulator_->Delay(delay);
+    in_user_delay_ = false;
+  }
+  co_await DrainDeferred();
+}
+
+sim::Task<void> Client::DrainDeferred() {
+  while (!deferred_.empty()) {
+    net::Message msg = std::move(deferred_.front());
+    deferred_.pop_front();
+    co_await protocol_->HandleAsync(std::move(msg));
+  }
+}
+
+sim::Process Client::Driver() {
+  // Stagger client start-up like an initial think time.
+  co_await simulator_->Delay(generator_.SampleExternalDelay());
+  while (true) {
+    workload::TransactionSpec spec = generator_.NextTransaction();
+    const sim::Ticks begin = simulator_->Now();
+    int attempts = 0;
+    while (true) {
+      ++attempts;
+      current_xact_ = NewXactUid();
+      abort_flag_ = false;
+      pending_stale_.clear();
+      protocol_->OnAttemptStart();
+      const bool committed = co_await protocol_->RunAttempt(spec);
+      co_await protocol_->OnAttemptEnd(committed);
+      if (committed) {
+        break;
+      }
+      metrics_->RecordAbort(last_abort_kind_);
+      current_xact_ = 0;
+      if (config_.algorithm.restart_delay) {
+        co_await UserDelay(generator_.SampleRestartDelay(
+                               metrics_->RunningMeanResponseTicks()),
+                           /*defer_async=*/false);
+      } else {
+        co_await DrainDeferred();
+      }
+    }
+    current_xact_ = 0;
+    metrics_->RecordCommit(simulator_->Now() - begin, attempts,
+                           generator_.current_type());
+    co_await UserDelay(generator_.SampleExternalDelay(),
+                       /*defer_async=*/false);
+  }
+}
+
+sim::Process Client::Dispatcher() {
+  while (true) {
+    net::Message msg = co_await inbox_.Receive();
+    if (msg.request_id != 0) {
+      auto it = pending_.find(msg.request_id);
+      CCSIM_CHECK_MSG(it != pending_.end(), "reply with no pending request");
+      sim::OneShot<net::Message>* slot = it->second;
+      pending_.erase(it);
+      slot->Set(std::move(msg));
+      continue;
+    }
+    if (in_user_delay_) {
+      deferred_.push_back(std::move(msg));
+      continue;
+    }
+    co_await protocol_->HandleAsync(std::move(msg));
+  }
+}
+
+}  // namespace ccsim::client

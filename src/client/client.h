@@ -1,0 +1,159 @@
+#ifndef CCSIM_CLIENT_CLIENT_H_
+#define CCSIM_CLIENT_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "client/client_cache.h"
+#include "config/params.h"
+#include "db/database.h"
+#include "net/network.h"
+#include "runner/metrics.h"
+#include "sim/event.h"
+#include "sim/process.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "workload/workload.h"
+
+namespace ccsim::proto {
+class ClientProtocol;
+}  // namespace ccsim::proto
+
+namespace ccsim::client {
+
+/// A client workstation (paper §3.3.3): one application, CPU(s), a page
+/// cache, a transaction generator, and the algorithm-specific client
+/// transaction manager (a proto::ClientProtocol).
+///
+/// Two processes run per client: the transaction driver (generates and
+/// executes transactions, restarting aborted ones) and the message
+/// dispatcher (routes RPC replies to waiting coroutines and hands
+/// asynchronous server messages to the protocol; asynchronous messages are
+/// *not* processed during user think delays — the paper's implementation
+/// detail that shapes the interactive experiment).
+class Client {
+ public:
+  Client(sim::Simulator* simulator, int id,
+         const config::ExperimentConfig& config,
+         const db::DatabaseLayout* layout, net::Network* network,
+         runner::Metrics* metrics, sim::Pcg32 object_rng,
+         sim::Pcg32 delay_rng);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Must be called before Start().
+  void set_protocol(std::unique_ptr<proto::ClientProtocol> protocol);
+
+  /// Spawns the driver and dispatcher processes.
+  void Start();
+
+  // --- surface used by protocol implementations ---
+
+  sim::Simulator& simulator() { return *simulator_; }
+  int id() const { return id_; }
+  sim::Resource& cpu() { return cpu_; }
+  ClientCache& cache() { return cache_; }
+  const config::ExperimentConfig& config() const { return config_; }
+  runner::Metrics& metrics() { return *metrics_; }
+  workload::WorkloadGenerator& generator() { return generator_; }
+  sim::Mailbox<net::Message>& inbox() { return inbox_; }
+
+  /// Uid of the current transaction attempt (0 between transactions).
+  std::uint64_t current_xact() const { return current_xact_; }
+
+  /// True once the server (or a reply) aborted the current attempt.
+  bool abort_flag() const { return abort_flag_; }
+  /// Marks the current attempt aborted; `stale_pages` are dropped from the
+  /// cache at attempt end. Ignored for non-current uids.
+  void NoteAbort(std::uint64_t xact, const std::vector<db::PageId>& stale);
+  /// Why the current attempt aborted (recorded once per failed attempt).
+  runner::AbortKind last_abort_kind() const { return last_abort_kind_; }
+  void set_last_abort_kind(runner::AbortKind kind) {
+    last_abort_kind_ = kind;
+  }
+  /// Pages reported stale by the server for the current attempt; drained by
+  /// the protocol's OnAttemptEnd.
+  std::vector<db::PageId> TakePendingStale() {
+    std::vector<db::PageId> out;
+    out.swap(pending_stale_);
+    return out;
+  }
+
+  /// Sends a request and waits for the matching reply. Charges send-side
+  /// CPU; the reply is routed by the dispatcher.
+  sim::Task<net::Message> Rpc(net::Message msg);
+
+  /// Fire-and-forget send (charges send-side CPU).
+  sim::Task<void> SendAsync(net::Message msg);
+
+  /// Charges ClientProcPage for `pages` pages on the client CPU.
+  sim::Task<void> ChargePageProcessing(int pages);
+
+  /// Inserts a page into the cache, pinned for the current transaction, and
+  /// runs the protocol's eviction actions for any victims.
+  sim::Task<void> InstallPage(db::PageId page, CachedPage info);
+
+  /// Think delays (exponential; asynchronous messages are deferred while
+  /// delaying and drained afterwards).
+  sim::Task<void> UpdateDelay();
+  sim::Task<void> InternalDelay();
+
+  /// Ticks per page of client processing.
+  sim::Ticks page_processing_cost() const { return client_proc_page_ticks_; }
+
+  // Debug/diagnostic accessors.
+  std::size_t pending_rpcs() const { return pending_.size(); }
+  net::MsgType last_rpc_type() const { return last_rpc_type_; }
+  sim::Ticks last_rpc_at() const { return last_rpc_at_; }
+  std::size_t deferred_messages() const { return deferred_.size(); }
+  bool in_user_delay() const { return in_user_delay_; }
+
+ private:
+  friend class ClientTestPeer;
+
+  sim::Process Driver();
+  sim::Process Dispatcher();
+  /// Waits `delay`; with `defer_async`, asynchronous server messages are
+  /// queued during the wait (the paper's in-transaction think times). Idle
+  /// waits (external think, restart delay) process messages immediately.
+  sim::Task<void> UserDelay(sim::Ticks delay, bool defer_async);
+  sim::Task<void> DrainDeferred();
+  std::uint64_t NewXactUid();
+
+  sim::Simulator* simulator_;
+  int id_;
+  const config::ExperimentConfig& config_;
+  net::Network* network_;
+  runner::Metrics* metrics_;
+  sim::Resource cpu_;
+  ClientCache cache_;
+  workload::WorkloadGenerator generator_;
+  sim::Mailbox<net::Message> inbox_;
+  std::unique_ptr<proto::ClientProtocol> protocol_;
+
+  sim::Ticks client_proc_page_ticks_ = 0;
+  std::uint64_t xact_seq_ = 0;
+  std::uint64_t current_xact_ = 0;
+  bool abort_flag_ = false;
+  runner::AbortKind last_abort_kind_ = runner::AbortKind::kDeadlock;
+  std::vector<db::PageId> pending_stale_;
+
+  net::MsgType last_rpc_type_{};
+  sim::Ticks last_rpc_at_ = 0;
+  std::uint64_t next_request_id_ = 1;
+  std::unordered_map<std::uint64_t, sim::OneShot<net::Message>*> pending_;
+
+  bool in_user_delay_ = false;
+  std::deque<net::Message> deferred_;
+};
+
+}  // namespace ccsim::client
+
+#endif  // CCSIM_CLIENT_CLIENT_H_

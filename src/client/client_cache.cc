@@ -1,0 +1,48 @@
+#include "client/client_cache.h"
+
+namespace ccsim::client {
+
+std::vector<ClientCache::Evicted> ClientCache::Insert(db::PageId page,
+                                                      CachedPage info) {
+  std::vector<Evicted> victims;
+  while (static_cast<int>(lru_.size()) >= capacity_) {
+    const auto* victim = lru_.VictimCandidate();
+    if (victim == nullptr) {
+      // Every page is pinned by the current transaction; overflow softly.
+      ++overflow_inserts_;
+      break;
+    }
+    victims.push_back(Evicted{victim->key, victim->value});
+    lru_.Erase(victim->key);
+  }
+  lru_.Insert(page, info);
+  return victims;
+}
+
+void ClientCache::EndTransaction() {
+  lru_.UnpinAll();
+  // Clear per-transaction state in place.
+  std::vector<db::PageId> keys;
+  keys.reserve(lru_.size());
+  lru_.ForEach([&](const LruTable<db::PageId, CachedPage>::Entry& e) {
+    keys.push_back(e.key);
+  });
+  for (db::PageId page : keys) {
+    CachedPage* info = lru_.Find(page);
+    info->checked_this_xact = false;
+    info->requested_this_xact = false;
+    info->lock = PageLock::kNone;
+  }
+}
+
+std::vector<db::PageId> ClientCache::DirtyPages() const {
+  std::vector<db::PageId> dirty;
+  lru_.ForEach([&](const LruTable<db::PageId, CachedPage>::Entry& e) {
+    if (e.value.dirty) {
+      dirty.push_back(e.key);
+    }
+  });
+  return dirty;
+}
+
+}  // namespace ccsim::client

@@ -1,0 +1,117 @@
+#ifndef CCSIM_CLIENT_CLIENT_CACHE_H_
+#define CCSIM_CLIENT_CLIENT_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "db/database.h"
+#include "util/lru.h"
+
+namespace ccsim::client {
+
+/// Lock strength the *current transaction* holds on a cached page.
+enum class PageLock { kNone, kShared, kExclusive };
+
+/// Client-cache metadata for one page. The simulator does not carry page
+/// contents; `version` stands in for them.
+struct CachedPage {
+  std::uint64_t version = 0;
+  /// Updated locally and not yet shipped to the server.
+  bool dirty = false;
+  /// Certification: validated (or fetched) by the current transaction.
+  bool checked_this_xact = false;
+  /// No-wait locking: an asynchronous lock request was already sent for the
+  /// current transaction.
+  bool requested_this_xact = false;
+  /// Callback locking: the client retains a shared lock across
+  /// transactions; the page is valid until called back.
+  bool retained = false;
+  /// Retain-write-locks ablation: the retained lock is exclusive.
+  bool retained_x = false;
+  PageLock lock = PageLock::kNone;
+};
+
+/// The client cache manager (paper §3.3.3): an LRU page cache. Pages used
+/// by the current transaction are pinned (they may be dirty or locked and
+/// must survive until commit); the replacement victim is the
+/// least-recently-used unpinned page.
+///
+/// Eviction side effects (shipping a dirty page, notifying the server about
+/// a replaced retained lock) are protocol-specific, so Insert() returns the
+/// evicted entries for the caller to process.
+class ClientCache {
+ public:
+  struct Evicted {
+    db::PageId page;
+    CachedPage info;
+  };
+
+  explicit ClientCache(int capacity) : capacity_(capacity) {}
+  ClientCache(const ClientCache&) = delete;
+  ClientCache& operator=(const ClientCache&) = delete;
+
+  int capacity() const { return capacity_; }
+  std::size_t size() const { return lru_.size(); }
+  bool Contains(db::PageId page) const { return lru_.Contains(page); }
+
+  /// Lookup without touching recency (metadata checks).
+  CachedPage* Find(db::PageId page) { return lru_.Find(page); }
+  const CachedPage* Find(db::PageId page) const { return lru_.Find(page); }
+
+  /// Lookup marking the page most recently used (an access).
+  CachedPage* Touch(db::PageId page) { return lru_.Touch(page); }
+
+  /// Inserts a page, evicting LRU unpinned pages to stay within capacity.
+  /// Fatal if the page is already cached. Returns the victims (oldest
+  /// first) for protocol processing. If every page is pinned the cache
+  /// overflows temporarily rather than deadlocking (counted).
+  std::vector<Evicted> Insert(db::PageId page, CachedPage info);
+
+  void Erase(db::PageId page) { lru_.Erase(page); }
+  void Clear() { lru_.Clear(); }
+
+  /// Pins a page for the current transaction (excluded from eviction).
+  void Pin(db::PageId page) {
+    if (!lru_.IsPinned(page)) {
+      lru_.Pin(page);
+    }
+  }
+
+  /// True if the current transaction touched (pinned) the page.
+  bool IsPinned(db::PageId page) const {
+    return lru_.Contains(page) && lru_.IsPinned(page);
+  }
+
+  /// Transaction boundary: unpin everything and clear per-transaction
+  /// flags and locks.
+  void EndTransaction();
+
+  /// Visits every cached page (MRU to LRU): fn(PageId, const CachedPage&).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    lru_.ForEach([&](const LruTable<db::PageId, CachedPage>::Entry& e) {
+      fn(e.key, e.value);
+    });
+  }
+
+  /// Pages currently dirty (in MRU order).
+  std::vector<db::PageId> DirtyPages() const;
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t overflow_inserts() const { return overflow_inserts_; }
+  void RecordHit() { ++hits_; }
+  void RecordMiss() { ++misses_; }
+  void ResetStats() { hits_ = misses_ = 0; }
+
+ private:
+  int capacity_;
+  LruTable<db::PageId, CachedPage> lru_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t overflow_inserts_ = 0;
+};
+
+}  // namespace ccsim::client
+
+#endif  // CCSIM_CLIENT_CLIENT_CACHE_H_

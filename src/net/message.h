@@ -1,0 +1,102 @@
+#ifndef CCSIM_NET_MESSAGE_H_
+#define CCSIM_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "db/database.h"
+#include "lock/lock_manager.h"
+
+namespace ccsim::net {
+
+/// The server's node id; clients are 0..NClients-1.
+inline constexpr int kServerNode = -1;
+
+/// Wire message types of the five consistency protocols.
+enum class MsgType {
+  // Client -> server, synchronous (a reply always comes back):
+  /// Fetch uncached pages and/or validate+lock cached pages.
+  kReadRequest,
+  /// Upgrade pages the transaction already holds shared to exclusive.
+  kUpgradeRequest,
+  /// Commit: carries dirty page images; for certification also the read
+  /// set with the versions read.
+  kCommitRequest,
+
+  // Client -> server, asynchronous (no reply unless negative):
+  /// No-wait lock/validate request; the server answers only with an abort.
+  kNoWaitLock,
+  /// A dirty page evicted from the client cache mid-transaction.
+  kDirtyEvict,
+  /// A clean page with a retained lock was evicted (callback locking).
+  kEvictNotice,
+  /// The client releases a called-back retained lock.
+  kCallbackRelease,
+
+  // Server -> client:
+  kReadReply,
+  kUpgradeReply,
+  kCommitReply,
+  /// Asks the client to relinquish retained locks (callback locking).
+  kCallbackRequest,
+  /// The server aborted the client's transaction (no-wait locking).
+  kAbortNotice,
+  /// Committed updates propagated to caching clients (notification).
+  kUpdatePropagation,
+};
+
+/// A protocol message. Control information is assumed to fit one packet;
+/// each page image carried in `data_pages` adds one packet
+/// (PageSize == PacketSize in all paper configurations).
+struct Message {
+  MsgType type{};
+  int src = kServerNode;
+  int dst = kServerNode;
+  /// Transaction uid (attempt-specific; every restart gets a fresh uid).
+  std::uint64_t xact = 0;
+  /// Correlates replies with synchronous requests (0 = asynchronous).
+  std::uint64_t request_id = 0;
+  lock::LockMode mode = lock::LockMode::kShared;
+  /// In replies: the transaction was aborted server-side.
+  bool aborted = false;
+  /// kUpdatePropagation: invalidate instead of carrying new copies.
+  bool invalidate = false;
+
+  /// Subject pages without data (lock/validate lists, stale lists, ack
+  /// version lists).
+  std::vector<db::PageId> pages;
+  /// Versions parallel to `pages` (cached versions on requests; new
+  /// versions on replies).
+  std::vector<std::uint64_t> versions;
+  /// Pages whose full images travel with the message (fetch replies, dirty
+  /// flushes, propagations).
+  std::vector<db::PageId> data_pages;
+  /// Versions parallel to `data_pages`.
+  std::vector<std::uint64_t> data_versions;
+
+  // kReadRequest extras: pages to fetch (uncached) vs pages to check
+  // (cached; listed in `pages` with `versions`).
+  std::vector<db::PageId> fetch_pages;
+
+  // kCommitRequest extras (certification): the full read set and the
+  // versions the transaction read.
+  std::vector<db::PageId> read_set;
+  std::vector<std::uint64_t> read_versions;
+
+  // kCommitReply extras (callback locking): pages whose locks the server
+  // released instead of retaining (another transaction was waiting).
+  std::vector<db::PageId> released_pages;
+
+  // Piggybacked eviction notices (callback locking): clean pages with
+  // retained locks that left the client cache since the last message.
+  std::vector<db::PageId> evicted_pages;
+};
+
+/// Number of network packets a message occupies.
+inline int PacketsFor(const Message& msg) {
+  return msg.data_pages.empty() ? 1 : static_cast<int>(msg.data_pages.size());
+}
+
+}  // namespace ccsim::net
+
+#endif  // CCSIM_NET_MESSAGE_H_

@@ -1,0 +1,39 @@
+#include "net/network.h"
+
+#include <utility>
+
+#include "util/macros.h"
+
+namespace ccsim::net {
+
+sim::Task<void> Network::Send(Message msg) {
+  const int packets = PacketsFor(msg);
+  auto src_it = endpoints_.find(msg.src);
+  CCSIM_CHECK_MSG(src_it != endpoints_.end(), "unregistered sender %d",
+                  msg.src);
+  ++messages_sent_;
+  packets_sent_ += static_cast<std::uint64_t>(packets);
+  const Endpoint& src = src_it->second;
+  if (src.msg_cost > 0) {
+    co_await src.cpu->Use(src.msg_cost * packets);
+  }
+  simulator_->Spawn(TransferAndDeliver(std::move(msg), packets));
+}
+
+sim::Process Network::TransferAndDeliver(Message msg, int packets) {
+  if (mean_packet_delay_ > 0) {
+    for (int i = 0; i < packets; ++i) {
+      co_await medium_.Use(rng_.ExponentialTicks(mean_packet_delay_));
+    }
+  }
+  auto dst_it = endpoints_.find(msg.dst);
+  CCSIM_CHECK_MSG(dst_it != endpoints_.end(), "unregistered receiver %d",
+                  msg.dst);
+  const Endpoint& dst = dst_it->second;
+  if (dst.msg_cost > 0) {
+    co_await dst.cpu->Use(dst.msg_cost * packets);
+  }
+  dst.inbox->Push(std::move(msg));
+}
+
+}  // namespace ccsim::net

@@ -1,0 +1,73 @@
+#ifndef CCSIM_NET_NETWORK_H_
+#define CCSIM_NET_NETWORK_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/message.h"
+#include "sim/event.h"
+#include "sim/random.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace ccsim::net {
+
+/// The network manager (paper §3.3.1). Messages are split into packets;
+/// each packet
+///  - charges MsgCost instructions on the sending CPU (the sender's
+///    coroutine waits for this: it is the sender's own work),
+///  - occupies the shared FCFS network medium for an exponential NetDelay,
+///  - charges MsgCost instructions on the receiving CPU,
+/// after which the message lands in the destination mailbox. Per-pair FIFO
+/// ordering holds because the medium is a single FCFS server and CPU queues
+/// are FCFS.
+class Network {
+ public:
+  struct Endpoint {
+    sim::Mailbox<Message>* inbox = nullptr;
+    sim::Resource* cpu = nullptr;
+    /// MsgCost in ticks at this endpoint's CPU speed, per packet.
+    sim::Ticks msg_cost = 0;
+  };
+
+  Network(sim::Simulator* simulator, sim::Ticks mean_packet_delay,
+          sim::Pcg32 rng)
+      : simulator_(simulator), mean_packet_delay_(mean_packet_delay),
+        rng_(rng), medium_(simulator, "network", /*num_servers=*/1) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  void RegisterEndpoint(int node, Endpoint endpoint) {
+    endpoints_[node] = endpoint;
+  }
+
+  /// Sends a message: the caller pays the send-side CPU cost, then transfer
+  /// and delivery proceed asynchronously.
+  sim::Task<void> Send(Message msg);
+
+  sim::Resource& medium() { return medium_; }
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  void ResetStats(sim::Ticks now) {
+    messages_sent_ = 0;
+    packets_sent_ = 0;
+    medium_.ResetStats(now);
+  }
+
+ private:
+  sim::Process TransferAndDeliver(Message msg, int packets);
+
+  sim::Simulator* simulator_;
+  sim::Ticks mean_packet_delay_;
+  sim::Pcg32 rng_;
+  sim::Resource medium_;
+  std::unordered_map<int, Endpoint> endpoints_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t packets_sent_ = 0;
+};
+
+}  // namespace ccsim::net
+
+#endif  // CCSIM_NET_NETWORK_H_

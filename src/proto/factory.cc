@@ -1,0 +1,51 @@
+#include "proto/factory.h"
+
+#include "proto/callback.h"
+#include "proto/certification.h"
+#include "proto/no_wait.h"
+#include "proto/two_phase.h"
+#include "util/macros.h"
+
+namespace ccsim::proto {
+
+std::unique_ptr<ClientProtocol> MakeClientProtocol(
+    const config::AlgorithmParams& params, client::Client* client) {
+  switch (params.algorithm) {
+    case config::Algorithm::kTwoPhaseLocking:
+      return std::make_unique<TwoPhaseClient>(client, params.caching);
+    case config::Algorithm::kCertification:
+      return std::make_unique<CertificationClient>(client, params.caching);
+    case config::Algorithm::kCallbackLocking:
+      return std::make_unique<CallbackClient>(client,
+                                              params.retain_write_locks,
+                                              params.explicit_evict_notices);
+    case config::Algorithm::kNoWaitLocking:
+    case config::Algorithm::kNoWaitNotify:
+      return std::make_unique<NoWaitClient>(client);
+  }
+  CCSIM_UNREACHABLE();
+}
+
+std::unique_ptr<ServerProtocol> MakeServerProtocol(
+    const config::AlgorithmParams& params, server::Server* server) {
+  switch (params.algorithm) {
+    case config::Algorithm::kTwoPhaseLocking:
+      return std::make_unique<TwoPhaseServer>(server);
+    case config::Algorithm::kCertification:
+      return std::make_unique<CertificationServer>(server);
+    case config::Algorithm::kCallbackLocking:
+      return std::make_unique<CallbackServer>(server,
+                                              params.retain_write_locks);
+    case config::Algorithm::kNoWaitLocking:
+      return std::make_unique<NoWaitServer>(server, /*notify=*/false,
+                                            /*notify_invalidate=*/false,
+                                            /*notify_broadcast=*/false);
+    case config::Algorithm::kNoWaitNotify:
+      return std::make_unique<NoWaitServer>(server, /*notify=*/true,
+                                            params.notify_invalidate,
+                                            params.notify_broadcast);
+  }
+  CCSIM_UNREACHABLE();
+}
+
+}  // namespace ccsim::proto

@@ -1,0 +1,21 @@
+#ifndef CCSIM_PROTO_FACTORY_H_
+#define CCSIM_PROTO_FACTORY_H_
+
+#include <memory>
+
+#include "config/params.h"
+#include "proto/protocol.h"
+
+namespace ccsim::proto {
+
+/// Builds the client half of the configured consistency algorithm.
+std::unique_ptr<ClientProtocol> MakeClientProtocol(
+    const config::AlgorithmParams& params, client::Client* client);
+
+/// Builds the server half of the configured consistency algorithm.
+std::unique_ptr<ServerProtocol> MakeServerProtocol(
+    const config::AlgorithmParams& params, server::Server* server);
+
+}  // namespace ccsim::proto
+
+#endif  // CCSIM_PROTO_FACTORY_H_

@@ -1,0 +1,334 @@
+#include "proto/no_wait.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "util/macros.h"
+
+namespace ccsim::proto {
+
+// --- client ---
+
+sim::Task<bool> NoWaitClient::ReadObject(const workload::Step& step) {
+  std::vector<db::PageId> async_pages;
+  std::vector<std::uint64_t> async_versions;
+  std::vector<db::PageId> fetch;
+  for (db::PageId page : step.read_pages) {
+    client::CachedPage* entry = c_.cache().Touch(page);
+    if (entry == nullptr) {
+      c_.cache().RecordMiss();
+      fetch.push_back(page);
+      continue;
+    }
+    c_.cache().RecordHit();
+    c_.cache().Pin(page);
+    if (!entry->requested_this_xact) {
+      // Optimistically use the cached copy; ask the server to lock and
+      // validate it in the background.
+      async_pages.push_back(page);
+      async_versions.push_back(entry->version);
+      entry->requested_this_xact = true;
+      entry->lock = client::PageLock::kShared;
+    }
+  }
+  if (!async_pages.empty()) {
+    net::Message request;
+    request.type = net::MsgType::kNoWaitLock;
+    request.xact = c_.current_xact();
+    request.mode = lock::LockMode::kShared;
+    request.pages = std::move(async_pages);
+    request.versions = std::move(async_versions);
+    co_await c_.SendAsync(std::move(request));
+  }
+  if (!fetch.empty()) {
+    net::Message request;
+    request.type = net::MsgType::kReadRequest;
+    request.xact = c_.current_xact();
+    request.mode = lock::LockMode::kShared;
+    request.fetch_pages = fetch;
+    net::Message reply = co_await c_.Rpc(std::move(request));
+    if (reply.aborted) {
+      c_.NoteAbort(c_.current_xact(), reply.pages);
+      co_return false;
+    }
+    for (std::size_t i = 0; i < reply.data_pages.size(); ++i) {
+      const db::PageId page = reply.data_pages[i];
+      client::CachedPage* entry = c_.cache().Find(page);
+      if (entry == nullptr) {
+        client::CachedPage info;
+        info.version = reply.data_versions[i];
+        info.requested_this_xact = true;
+        info.lock = client::PageLock::kShared;
+        co_await c_.InstallPage(page, info);
+      } else {
+        entry->version = reply.data_versions[i];
+        entry->requested_this_xact = true;
+        entry->lock = client::PageLock::kShared;
+      }
+    }
+  }
+  co_await c_.ChargePageProcessing(static_cast<int>(step.read_pages.size()));
+  co_return !c_.abort_flag();
+}
+
+sim::Task<bool> NoWaitClient::UpdateObject(const workload::Step& step) {
+  std::vector<db::PageId> upgrade;
+  for (db::PageId page : step.write_pages) {
+    client::CachedPage* entry = c_.cache().Find(page);
+    CCSIM_CHECK(entry != nullptr);
+    entry->dirty = true;
+    if (entry->lock != client::PageLock::kExclusive) {
+      entry->lock = client::PageLock::kExclusive;
+      upgrade.push_back(page);
+    }
+  }
+  if (!upgrade.empty()) {
+    // Fire-and-forget upgrade: the server aborts us on deadlock.
+    net::Message request;
+    request.type = net::MsgType::kNoWaitLock;
+    request.xact = c_.current_xact();
+    request.mode = lock::LockMode::kExclusive;
+    request.pages = std::move(upgrade);
+    co_await c_.SendAsync(std::move(request));
+  }
+  co_await c_.ChargePageProcessing(static_cast<int>(step.write_pages.size()));
+  co_return !c_.abort_flag();
+}
+
+sim::Task<bool> NoWaitClient::Commit(const workload::TransactionSpec& spec) {
+  (void)spec;
+  net::Message request;
+  request.type = net::MsgType::kCommitRequest;
+  request.xact = c_.current_xact();
+  request.data_pages = c_.cache().DirtyPages();
+  net::Message reply = co_await c_.Rpc(std::move(request));
+  if (reply.aborted) {
+    c_.NoteAbort(c_.current_xact(), reply.pages);
+    co_return false;
+  }
+  for (std::size_t i = 0; i < reply.pages.size(); ++i) {
+    client::CachedPage* entry = c_.cache().Find(reply.pages[i]);
+    if (entry != nullptr) {
+      entry->version = reply.versions[i];
+      entry->dirty = false;
+    }
+  }
+  co_return true;
+}
+
+// --- server ---
+
+sim::Process NoWaitServer::Handle(net::Message msg) {
+  switch (msg.type) {
+    case net::MsgType::kNoWaitLock:
+      co_await HandleNoWaitLock(std::move(msg));
+      break;
+    case net::MsgType::kReadRequest:
+      co_await HandleRead(std::move(msg));
+      break;
+    case net::MsgType::kCommitRequest:
+      co_await HandleCommit(std::move(msg));
+      break;
+    case net::MsgType::kDirtyEvict:
+      co_await HandleDirtyEvict(std::move(msg));
+      break;
+    default:
+      break;
+  }
+}
+
+sim::Task<void> NoWaitServer::AbortWithNotice(server::XactState& state) {
+  if (state.aborted) {
+    co_return;
+  }
+  const std::vector<db::PageId> stale = state.stale_pages;
+  co_await s_.AbortPipeline(state);
+  net::Message notice;
+  notice.type = net::MsgType::kAbortNotice;
+  notice.dst = state.client;
+  notice.xact = state.uid;
+  notice.pages = stale;
+  co_await s_.Send(std::move(notice));
+}
+
+sim::Task<void> NoWaitServer::HandleNoWaitLock(net::Message msg) {
+  server::XactState* state = s_.FindXact(msg.xact);
+  CCSIM_CHECK(state != nullptr);
+  ++state->pending_async;
+  for (std::size_t i = 0; i < msg.pages.size(); ++i) {
+    if (state->aborted) {
+      break;
+    }
+    const db::PageId page = msg.pages[i];
+    const lock::LockOutcome outcome =
+        co_await s_.locks().Acquire(state->uid, page, msg.mode);
+    if (outcome == lock::LockOutcome::kAborted) {
+      break;  // another handler aborted us; it sent the notice
+    }
+    if (outcome == lock::LockOutcome::kDeadlock) {
+      co_await AbortWithNotice(*state);
+      break;
+    }
+    if (msg.mode == lock::LockMode::kShared) {
+      // Lock granted: now check that the cached copy the client is already
+      // using was current.
+      const std::uint64_t current = s_.versions().Get(page);
+      if (current != msg.versions[i]) {
+        state->stale_pages.push_back(page);
+        co_await AbortWithNotice(*state);
+        break;
+      }
+      state->read_versions[page] = current;
+    }
+  }
+  --state->pending_async;
+  if (state->pending_async == 0) {
+    state->async_resolved->Signal();
+  }
+}
+
+sim::Task<void> NoWaitServer::HandleRead(net::Message msg) {
+  server::XactState* state = s_.FindXact(msg.xact);
+  CCSIM_CHECK(state != nullptr);
+  for (db::PageId page : msg.fetch_pages) {
+    if (state->aborted) {
+      break;
+    }
+    const lock::LockOutcome outcome =
+        co_await s_.locks().Acquire(state->uid, page, msg.mode);
+    if (outcome == lock::LockOutcome::kDeadlock) {
+      co_await AbortWithNotice(*state);
+      break;
+    }
+    if (outcome == lock::LockOutcome::kAborted) {
+      break;
+    }
+  }
+  if (state->aborted) {
+    net::Message reply;
+    reply.type = net::MsgType::kReadReply;
+    reply.aborted = true;
+    reply.pages = state->stale_pages;
+    co_await s_.Reply(msg, std::move(reply));
+    co_return;
+  }
+  net::Message reply;
+  reply.type = net::MsgType::kReadReply;
+  co_await s_.ReadPagesToClient(*state, msg.fetch_pages, &reply,
+                                /*record_reads=*/true);
+  co_await s_.Reply(msg, std::move(reply));
+}
+
+sim::Task<void> NoWaitServer::HandleCommit(net::Message msg) {
+  server::XactState* state = s_.FindXact(msg.xact);
+  CCSIM_CHECK(state != nullptr);
+  // The client may commit only after every outstanding request has been
+  // resolved (paper §2.4: "the client must receive a response from the
+  // server before it can commit").
+  while (state->pending_async > 0 && !state->aborted) {
+    co_await state->async_resolved->Wait();
+  }
+  if (state->aborted) {
+    // The asynchronous notice is (or will be) on its way; answer the commit
+    // too so the client does not hang on the RPC.
+    net::Message reply;
+    reply.type = net::MsgType::kCommitReply;
+    reply.aborted = true;
+    reply.pages = state->stale_pages;
+    co_await s_.Reply(msg, std::move(reply));
+    co_return;
+  }
+  co_await s_.InstallClientUpdates(*state, msg.data_pages, state->uid,
+                                   /*charge_cpu=*/true);
+  // Apply dirty evictions that arrived before their X grants.
+  if (!state->deferred.empty()) {
+    const std::vector<db::PageId> deferred(state->deferred.begin(),
+                                           state->deferred.end());
+    co_await s_.InstallClientUpdates(*state, deferred, state->uid,
+                                     /*charge_cpu=*/false);
+  }
+  net::Message reply;
+  reply.type = net::MsgType::kCommitReply;
+  co_await s_.FinalizeCommit(*state, &reply);
+  s_.locks().ReleaseAll(state->uid);
+  co_await s_.Reply(msg, reply);
+  if (notify_) {
+    co_await PropagateUpdates(*state, reply);
+  }
+}
+
+sim::Task<void> NoWaitServer::HandleDirtyEvict(net::Message msg) {
+  server::XactState* state = s_.FindXact(msg.xact);
+  if (state == nullptr || state->aborted || state->done) {
+    co_return;
+  }
+  // Install in place only when the X lock is already granted; otherwise
+  // another transaction may still own the page — stage the image until
+  // commit.
+  for (db::PageId page : msg.data_pages) {
+    if (s_.locks().Holds(state->uid, page, lock::LockMode::kExclusive)) {
+      const std::vector<db::PageId> one(1, page);
+      co_await s_.InstallClientUpdates(*state, one, state->uid,
+                                       /*charge_cpu=*/true);
+    } else {
+      state->deferred.insert(page);
+      if (s_.page_processing_cost() > 0) {
+        co_await s_.cpu().Use(s_.page_processing_cost());
+      }
+    }
+  }
+}
+
+sim::Task<void> NoWaitServer::PropagateUpdates(
+    const server::XactState& state, const net::Message& commit_reply) {
+  // Group the committed pages by caching client so each client gets one
+  // message (paper §2.5: the server sends the updated copies).
+  std::unordered_map<int, net::Message> per_client;
+  for (std::size_t i = 0; i < commit_reply.pages.size(); ++i) {
+    const db::PageId page = commit_reply.pages[i];
+    const std::uint64_t version = commit_reply.versions[i];
+    std::vector<int> targets;
+    if (notify_broadcast_) {
+      // Broadcast variant (paper §6): no directory, every other client.
+      for (int client = 0; client < s_.config().system.num_clients;
+           ++client) {
+        if (client != state.client) {
+          targets.push_back(client);
+        }
+      }
+    } else {
+      targets = s_.directory().ClientsCaching(page, state.client);
+    }
+    for (int client : targets) {
+      net::Message& msg = per_client[client];
+      msg.type = net::MsgType::kUpdatePropagation;
+      msg.dst = client;
+      msg.invalidate = notify_invalidate_;
+      if (notify_invalidate_) {
+        // Invalidations carry no page images (control message only).
+        msg.pages.push_back(page);
+        msg.versions.push_back(version);
+      } else {
+        msg.data_pages.push_back(page);
+        msg.data_versions.push_back(version);
+      }
+    }
+  }
+  for (auto& [client, msg] : per_client) {
+    if (notify_invalidate_) {
+      // The client drops these pages; align the directory with that.
+      for (db::PageId page : msg.pages) {
+        s_.directory().Drop(client, page);
+      }
+    } else if (s_.page_processing_cost() > 0) {
+      // Each propagated copy is an object sent to a client: ServerProcPage,
+      // like any other page read (this is the server-CPU contention that
+      // makes notification expensive in the paper's §5.1/§5.3 regimes).
+      co_await s_.cpu().Use(s_.page_processing_cost() *
+                            static_cast<sim::Ticks>(msg.data_pages.size()));
+    }
+    co_await s_.Send(std::move(msg));
+  }
+}
+
+}  // namespace ccsim::proto

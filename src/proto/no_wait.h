@@ -1,0 +1,62 @@
+#ifndef CCSIM_PROTO_NO_WAIT_H_
+#define CCSIM_PROTO_NO_WAIT_H_
+
+#include "config/params.h"
+#include "proto/protocol.h"
+
+namespace ccsim::proto {
+
+/// No-wait ("optimistic") locking (paper §2.4, Gerson's algorithm from
+/// Statice): the client assumes cached pages are valid and keeps executing;
+/// lock/validate requests go to the server asynchronously and the server
+/// answers only negatively (an abort notice). Cache misses still fetch
+/// synchronously. A transaction can commit only after the server has
+/// resolved all of its outstanding requests.
+class NoWaitClient : public ClientProtocol {
+ public:
+  explicit NoWaitClient(client::Client* client) : ClientProtocol(client) {}
+
+ protected:
+  sim::Task<bool> ReadObject(const workload::Step& step) override;
+  sim::Task<bool> UpdateObject(const workload::Step& step) override;
+  sim::Task<bool> Commit(const workload::TransactionSpec& spec) override;
+};
+
+/// Server half of no-wait locking. With `notify` (paper §2.5), committed
+/// updates are propagated to every client the directory believes caches the
+/// page, reducing stale-read aborts; `notify_invalidate` is the ablation
+/// that sends invalidations instead of new copies.
+class NoWaitServer : public ServerProtocol {
+ public:
+  NoWaitServer(server::Server* server, bool notify, bool notify_invalidate,
+               bool notify_broadcast)
+      : ServerProtocol(server), notify_(notify),
+        notify_invalidate_(notify_invalidate),
+        notify_broadcast_(notify_broadcast) {}
+
+  sim::Process Handle(net::Message msg) override;
+
+ private:
+  sim::Task<void> HandleNoWaitLock(net::Message msg);
+  sim::Task<void> HandleRead(net::Message msg);
+  sim::Task<void> HandleCommit(net::Message msg);
+  sim::Task<void> HandleDirtyEvict(net::Message msg);
+
+  /// Aborts the transaction server-side and sends the asynchronous abort
+  /// notice (with the stale pages collected so far). No-op when already
+  /// aborted.
+  sim::Task<void> AbortWithNotice(server::XactState& state);
+
+  /// Propagates the committed updates in `state.updated` to caching
+  /// clients.
+  sim::Task<void> PropagateUpdates(const server::XactState& state,
+                                   const net::Message& commit_reply);
+
+  bool notify_;
+  bool notify_invalidate_;
+  bool notify_broadcast_;
+};
+
+}  // namespace ccsim::proto
+
+#endif  // CCSIM_PROTO_NO_WAIT_H_

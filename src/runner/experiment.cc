@@ -1,0 +1,149 @@
+#include "runner/experiment.h"
+
+#include <memory>
+
+#include "client/client.h"
+#include "db/database.h"
+#include "net/network.h"
+#include "proto/factory.h"
+#include "server/server.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "storage/disk.h"
+
+namespace ccsim::runner {
+namespace {
+
+/// RNG stream ids. Distinct per component so that changing one knob does
+/// not perturb unrelated variate sequences across compared runs.
+constexpr std::uint64_t kNetworkStream = 0x7e7;
+constexpr std::uint64_t kClientObjectStreamBase = 0x1000;
+constexpr std::uint64_t kClientDelayStreamBase = 0x20000;
+
+double MeanUtilization(const std::vector<storage::Disk*>& disks,
+                       sim::Ticks now) {
+  if (disks.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (storage::Disk* disk : disks) {
+    sum += disk->resource().Utilization(now);
+  }
+  return sum / static_cast<double>(disks.size());
+}
+
+}  // namespace
+
+Result<RunResult> RunExperiment(const config::ExperimentConfig& config) {
+  CCSIM_RETURN_NOT_OK(config.Validate());
+
+  sim::Simulator sim;
+  const std::uint64_t seed = config.control.seed;
+  db::DatabaseLayout layout(config.database, config.system.num_data_disks);
+  Metrics metrics(&sim);
+  metrics.set_record_history(config.control.record_history);
+  net::Network network(&sim, sim::MillisToTicks(config.system.net_delay_ms),
+                       sim::Pcg32(seed, kNetworkStream));
+  server::Server server(&sim, config, &layout, &network, &metrics, seed);
+  server.set_protocol(proto::MakeServerProtocol(config.algorithm, &server));
+
+  std::vector<std::unique_ptr<client::Client>> clients;
+  clients.reserve(static_cast<std::size_t>(config.system.num_clients));
+  for (int i = 0; i < config.system.num_clients; ++i) {
+    auto c = std::make_unique<client::Client>(
+        &sim, i, config, &layout, &network, &metrics,
+        sim::Pcg32(seed, kClientObjectStreamBase +
+                             static_cast<std::uint64_t>(i)),
+        sim::Pcg32(seed,
+                   kClientDelayStreamBase + static_cast<std::uint64_t>(i)));
+    c->set_protocol(proto::MakeClientProtocol(config.algorithm, c.get()));
+    clients.push_back(std::move(c));
+  }
+
+  server.Start();
+  for (auto& c : clients) {
+    c->Start();
+  }
+
+  // Warmup: run, then restart every statistics window.
+  sim.Run(sim::SecondsToTicks(config.control.warmup_seconds));
+  const sim::Ticks window_start = sim.Now();
+  metrics.ResetWindow(window_start);
+  server.cpu().ResetStats(window_start);
+  network.ResetStats(window_start);
+  for (storage::Disk* disk : server.data_disks()) {
+    disk->resource().ResetStats(window_start);
+  }
+  for (storage::Disk* disk : server.log_disks()) {
+    disk->resource().ResetStats(window_start);
+  }
+  server.pool().ResetStats();
+  server.log().ResetStats();
+  for (auto& c : clients) {
+    c->cpu().ResetStats(window_start);
+    c->cache().ResetStats();
+  }
+
+  // Measurement: until the commit target or the simulated-time cap.
+  metrics.set_stop_after_commits(config.control.target_commits);
+  const sim::Ticks horizon =
+      window_start + sim::SecondsToTicks(config.control.max_measure_seconds);
+  sim.Run(horizon);
+  const sim::Ticks now = sim.Now();
+  const bool stalled = !sim.stop_requested() && now < horizon;
+
+  RunResult result;
+  result.stalled = stalled;
+  result.measured_seconds = sim::TicksToSeconds(now - window_start);
+  result.commits = metrics.commits();
+  result.aborts = metrics.aborts();
+  result.deadlock_aborts = metrics.deadlock_aborts();
+  result.stale_aborts = metrics.stale_aborts();
+  result.cert_aborts = metrics.cert_aborts();
+  result.deadlocks_detected = server.locks().deadlocks_detected();
+  result.mean_response_s = metrics.response_s().mean();
+  result.response_ci_s = metrics.response_batches().HalfWidth90();
+  result.throughput_tps =
+      result.measured_seconds > 0
+          ? static_cast<double>(result.commits) / result.measured_seconds
+          : 0.0;
+  result.mean_attempts_per_commit = metrics.attempts_per_commit().mean();
+  result.server_cpu_util = server.cpu().Utilization(now);
+  double client_util_sum = 0.0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  for (auto& c : clients) {
+    client_util_sum += c->cpu().Utilization(now);
+    cache_hits += c->cache().hits();
+    cache_misses += c->cache().misses();
+  }
+  result.client_cpu_util =
+      client_util_sum / static_cast<double>(clients.size());
+  result.network_util = network.medium().Utilization(now);
+  result.data_disk_util = MeanUtilization(server.data_disks(), now);
+  result.log_disk_util = MeanUtilization(server.log_disks(), now);
+  result.messages = network.messages_sent();
+  result.packets = network.packets_sent();
+  result.client_hit_ratio =
+      (cache_hits + cache_misses) == 0
+          ? 0.0
+          : static_cast<double>(cache_hits) /
+                static_cast<double>(cache_hits + cache_misses);
+  result.server_buffer_hit_ratio = server.pool().HitRatio();
+  result.buffer_writebacks = server.pool().writebacks();
+  result.log_forced_commits = server.log().commits_logged();
+  result.undo_page_ios = server.log().undo_page_ios();
+  for (const sim::Tally& tally : metrics.per_type_response_s()) {
+    result.per_type_response.emplace_back(tally.mean(), tally.count());
+  }
+  result.history = metrics.history();
+  result.final_lock_waiters = server.locks().waiter_count();
+  result.final_locks_held = server.locks().held_count();
+  result.final_active_xacts = server.active_transactions();
+  result.final_ready_queue = server.ready_queue_length();
+
+  sim.Shutdown();
+  return result;
+}
+
+}  // namespace ccsim::runner

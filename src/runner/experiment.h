@@ -1,0 +1,70 @@
+#ifndef CCSIM_RUNNER_EXPERIMENT_H_
+#define CCSIM_RUNNER_EXPERIMENT_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "config/params.h"
+#include "runner/metrics.h"
+#include "util/status.h"
+
+namespace ccsim::runner {
+
+/// Measurement-window results of one simulation run, in the units the paper
+/// reports (seconds; committed transactions per second).
+struct RunResult {
+  double measured_seconds = 0.0;
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t deadlock_aborts = 0;
+  std::uint64_t stale_aborts = 0;
+  std::uint64_t cert_aborts = 0;
+  std::uint64_t deadlocks_detected = 0;
+
+  double mean_response_s = 0.0;
+  /// ~90% confidence half-width on the mean response time (batch means).
+  double response_ci_s = 0.0;
+  double throughput_tps = 0.0;
+  double mean_attempts_per_commit = 0.0;
+
+  double server_cpu_util = 0.0;
+  double client_cpu_util = 0.0;  // averaged over clients
+  double network_util = 0.0;
+  double data_disk_util = 0.0;   // averaged over data disks
+  double log_disk_util = 0.0;    // averaged over log disks
+
+  std::uint64_t messages = 0;
+  std::uint64_t packets = 0;
+  double client_hit_ratio = 0.0;
+  double server_buffer_hit_ratio = 0.0;
+  std::uint64_t buffer_writebacks = 0;
+  std::uint64_t log_forced_commits = 0;
+  std::uint64_t undo_page_ios = 0;
+
+  /// Per-type (mean response seconds, commits) for mixed workloads, in
+  /// ExperimentConfig::mix order. Single-type runs have one entry.
+  std::vector<std::pair<double, std::uint64_t>> per_type_response;
+
+  /// Commit history (only when control.record_history was set).
+  std::vector<Metrics::CommitRecord> history;
+
+  // End-of-run diagnostics (stall debugging / liveness checks).
+  /// True if the event calendar drained before the measurement horizon and
+  /// before the commit target: the whole system stopped making progress.
+  /// Always a protocol-implementation bug; asserted against in tests.
+  bool stalled = false;
+  std::size_t final_lock_waiters = 0;
+  std::size_t final_locks_held = 0;
+  int final_active_xacts = 0;
+  std::size_t final_ready_queue = 0;
+};
+
+/// Builds the full simulated system for `config`, runs warmup plus the
+/// measurement window (until `target_commits` or `max_measure_seconds`,
+/// whichever first), and harvests the results.
+Result<RunResult> RunExperiment(const config::ExperimentConfig& config);
+
+}  // namespace ccsim::runner
+
+#endif  // CCSIM_RUNNER_EXPERIMENT_H_

@@ -1,0 +1,143 @@
+#ifndef CCSIM_RUNNER_METRICS_H_
+#define CCSIM_RUNNER_METRICS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "db/database.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace ccsim::runner {
+
+/// Why a transaction attempt was aborted.
+enum class AbortKind {
+  /// Deadlock victim (lock-based algorithms).
+  kDeadlock,
+  /// Read a stale cached page (no-wait locking).
+  kStaleRead,
+  /// Failed commit-time validation (certification).
+  kCertification,
+};
+
+/// Run-wide measurement collector. Transaction response times and counters
+/// accumulate in a measurement window that restarts at the end of warmup;
+/// a separate lifetime response-time mean (never reset) drives the
+/// ACL-style restart delay.
+class Metrics {
+ public:
+  explicit Metrics(sim::Simulator* simulator) : simulator_(simulator) {}
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  /// Stops the simulation once this many commits land in the window.
+  void set_stop_after_commits(std::uint64_t target) {
+    stop_after_commits_ = target;
+  }
+
+  void RecordCommit(sim::Ticks response, int attempts,
+                    std::size_t type_index = 0) {
+    const double seconds = sim::TicksToSeconds(response);
+    lifetime_response_s_.Add(seconds);
+    response_s_.Add(seconds);
+    response_batches_.Add(seconds);
+    if (type_index >= per_type_response_s_.size()) {
+      per_type_response_s_.resize(type_index + 1);
+    }
+    per_type_response_s_[type_index].Add(seconds);
+    ++commits_;
+    attempts_per_commit_.Add(static_cast<double>(attempts));
+    if (stop_after_commits_ != 0 && commits_ >= stop_after_commits_) {
+      simulator_->RequestStop();
+    }
+  }
+
+  void RecordAbort(AbortKind kind) {
+    ++aborts_;
+    switch (kind) {
+      case AbortKind::kDeadlock:
+        ++deadlock_aborts_;
+        break;
+      case AbortKind::kStaleRead:
+        ++stale_aborts_;
+        break;
+      case AbortKind::kCertification:
+        ++cert_aborts_;
+        break;
+    }
+  }
+
+  /// Mean response time over the whole run (ticks), used as the mean of the
+  /// exponential restart delay. Falls back to 100 ms before any commit.
+  sim::Ticks RunningMeanResponseTicks() const {
+    if (lifetime_response_s_.count() == 0) {
+      return sim::kTicksPerSecond / 10;
+    }
+    return sim::SecondsToTicks(lifetime_response_s_.mean());
+  }
+
+  /// End-of-warmup reset of the measurement window.
+  void ResetWindow(sim::Ticks now) {
+    response_s_.Reset();
+    response_batches_.Reset();
+    per_type_response_s_.clear();
+    attempts_per_commit_.Reset();
+    commits_ = aborts_ = deadlock_aborts_ = stale_aborts_ = cert_aborts_ = 0;
+    window_start_ = now;
+  }
+
+  const sim::Tally& response_s() const { return response_s_; }
+  /// Per-transaction-type response tallies (mixed workloads; index matches
+  /// ExperimentConfig::mix order).
+  const std::vector<sim::Tally>& per_type_response_s() const {
+    return per_type_response_s_;
+  }
+  const sim::BatchMeans& response_batches() const { return response_batches_; }
+  const sim::Tally& attempts_per_commit() const { return attempts_per_commit_; }
+  std::uint64_t commits() const { return commits_; }
+  std::uint64_t aborts() const { return aborts_; }
+  std::uint64_t deadlock_aborts() const { return deadlock_aborts_; }
+  std::uint64_t stale_aborts() const { return stale_aborts_; }
+  std::uint64_t cert_aborts() const { return cert_aborts_; }
+  sim::Ticks window_start() const { return window_start_; }
+
+  /// Optional commit history for the serializability validator (tests).
+  struct CommitRecord {
+    int client = 0;
+    std::uint64_t xact = 0;
+    sim::Ticks at = 0;
+    /// (page, version read) for every page in the read set.
+    std::vector<std::pair<db::PageId, std::uint64_t>> reads;
+    /// (page, new version installed) for every updated page.
+    std::vector<std::pair<db::PageId, std::uint64_t>> writes;
+  };
+  void set_record_history(bool on) { record_history_ = on; }
+  bool record_history() const { return record_history_; }
+  void AddHistory(CommitRecord record) {
+    history_.push_back(std::move(record));
+  }
+  const std::vector<CommitRecord>& history() const { return history_; }
+
+ private:
+  sim::Simulator* simulator_;
+  std::uint64_t stop_after_commits_ = 0;
+  sim::Tally lifetime_response_s_;
+  sim::Tally response_s_;
+  std::vector<sim::Tally> per_type_response_s_;
+  sim::BatchMeans response_batches_{/*batch_size=*/50};
+  sim::Tally attempts_per_commit_;
+  std::uint64_t commits_ = 0;
+  std::uint64_t aborts_ = 0;
+  std::uint64_t deadlock_aborts_ = 0;
+  std::uint64_t stale_aborts_ = 0;
+  std::uint64_t cert_aborts_ = 0;
+  sim::Ticks window_start_ = 0;
+  bool record_history_ = false;
+  std::vector<CommitRecord> history_;
+};
+
+}  // namespace ccsim::runner
+
+#endif  // CCSIM_RUNNER_METRICS_H_

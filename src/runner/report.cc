@@ -1,0 +1,70 @@
+#include "runner/report.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdlib>
+
+namespace ccsim::runner {
+
+void Table::Print(std::FILE* out) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::fprintf(out, "\n%s\n", title_.c_str());
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    std::fprintf(out, "%s%-*s", c == 0 ? "" : "  ",
+                 static_cast<int>(widths[c]), columns_[c].c_str());
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  std::fprintf(out, "\n");
+  for (std::size_t i = 0; i < total; ++i) {
+    std::fputc('-', out);
+  }
+  std::fprintf(out, "\n");
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%-*s", c == 0 ? "" : "  ",
+                   static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::fprintf(out, "\n");
+  }
+  std::fflush(out);
+}
+
+std::string Table::Num(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string Table::Int(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  return buf;
+}
+
+BenchScale ReadBenchScale() {
+  BenchScale scale;
+  if (const char* env = std::getenv("CCSIM_SCALE")) {
+    const double value = std::atof(env);
+    if (value > 0) {
+      scale.scale = value;
+    }
+  }
+  if (const char* env = std::getenv("CCSIM_SEED")) {
+    const long long value = std::atoll(env);
+    if (value > 0) {
+      scale.seed = static_cast<std::uint64_t>(value);
+    }
+  }
+  return scale;
+}
+
+}  // namespace ccsim::runner

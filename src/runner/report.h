@@ -1,0 +1,45 @@
+#ifndef CCSIM_RUNNER_REPORT_H_
+#define CCSIM_RUNNER_REPORT_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ccsim::runner {
+
+/// Plain-text table printer for bench output: fixed-width columns, a title
+/// line, and an underline — the same rows/series the paper's figures plot.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns)
+      : title_(std::move(title)), columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print(std::FILE* out = stdout) const;
+
+  /// Formats a double with `digits` decimals.
+  static std::string Num(double value, int digits = 3);
+  static std::string Int(std::uint64_t value);
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Measurement-scale knobs shared by the bench binaries:
+///  - CCSIM_SCALE (float, default 1): multiplies the commit target and the
+///    simulated-time cap; smaller = faster, noisier.
+///  - CCSIM_SEED (int, default 1): base RNG seed.
+struct BenchScale {
+  double scale = 1.0;
+  std::uint64_t seed = 1;
+};
+BenchScale ReadBenchScale();
+
+}  // namespace ccsim::runner
+
+#endif  // CCSIM_RUNNER_REPORT_H_

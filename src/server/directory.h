@@ -1,0 +1,103 @@
+#ifndef CCSIM_SERVER_DIRECTORY_H_
+#define CCSIM_SERVER_DIRECTORY_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "db/database.h"
+#include "util/lru.h"
+
+namespace ccsim::server {
+
+/// Tracks which clients were sent copies of which pages — the server-side
+/// memory that notification needs ("the server [must] remember which
+/// objects have been cached by which clients", paper §6) and that callback
+/// locking uses for bookkeeping.
+///
+/// Entries are added whenever page data is shipped to a client and removed
+/// when the server learns of an eviction (explicit or piggybacked
+/// notices). Clients that drop clean pages silently leave stale entries —
+/// those cause wasted notifications, exactly as the paper models (§2.5) —
+/// but the server knows each client's cache capacity, so it keeps at most
+/// `per_client_capacity` entries per client in LRU order (its best
+/// approximation of the real cache contents).
+class Directory {
+ public:
+  explicit Directory(int per_client_capacity = 1 << 20)
+      : per_client_capacity_(per_client_capacity) {}
+
+  Directory(const Directory&) = delete;
+  Directory& operator=(const Directory&) = delete;
+
+  /// Records that `client` was sent a copy of `page`.
+  void Note(int client, db::PageId page) {
+    LruTable<db::PageId, Empty>& pages = per_client_[client];
+    if (pages.Touch(page) != nullptr) {
+      return;
+    }
+    while (static_cast<int>(pages.size()) >= per_client_capacity_) {
+      const auto* victim = pages.VictimCandidate();
+      DropInternal(client, pages, victim->key);
+    }
+    pages.Insert(page, Empty{});
+    by_page_[page].insert(client);
+  }
+
+  /// Forgets `page` for `client` (eviction notice processed).
+  void Drop(int client, db::PageId page) {
+    auto it = per_client_.find(client);
+    if (it == per_client_.end()) {
+      return;
+    }
+    DropInternal(client, it->second, page);
+  }
+
+  bool Caches(int client, db::PageId page) const {
+    auto it = by_page_.find(page);
+    return it != by_page_.end() && it->second.count(client) > 0;
+  }
+
+  /// Clients believed to cache `page`, excluding `except`.
+  std::vector<int> ClientsCaching(db::PageId page, int except) const {
+    std::vector<int> out;
+    auto it = by_page_.find(page);
+    if (it == by_page_.end()) {
+      return out;
+    }
+    out.reserve(it->second.size());
+    for (int client : it->second) {
+      if (client != except) {
+        out.push_back(client);
+      }
+    }
+    return out;
+  }
+
+  std::size_t page_count() const { return by_page_.size(); }
+
+ private:
+  struct Empty {};
+
+  void DropInternal(int client, LruTable<db::PageId, Empty>& pages,
+                    db::PageId page) {
+    if (!pages.Erase(page)) {
+      return;
+    }
+    auto it = by_page_.find(page);
+    if (it != by_page_.end()) {
+      it->second.erase(client);
+      if (it->second.empty()) {
+        by_page_.erase(it);
+      }
+    }
+  }
+
+  int per_client_capacity_;
+  std::unordered_map<int, LruTable<db::PageId, Empty>> per_client_;
+  std::unordered_map<db::PageId, std::unordered_set<int>> by_page_;
+};
+
+}  // namespace ccsim::server
+
+#endif  // CCSIM_SERVER_DIRECTORY_H_

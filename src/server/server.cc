@@ -1,0 +1,321 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "proto/protocol.h"
+#include "util/macros.h"
+
+namespace ccsim::server {
+
+Server::Server(sim::Simulator* simulator,
+               const config::ExperimentConfig& config,
+               const db::DatabaseLayout* layout, net::Network* network,
+               runner::Metrics* metrics, std::uint64_t seed)
+    : simulator_(simulator), config_(config), layout_(layout),
+      network_(network), metrics_(metrics),
+      rng_(seed, /*stream=*/0x5e5fULL),
+      cpu_(simulator, "server.cpu", config.system.num_server_cpus),
+      locks_(simulator), versions_(layout->total_pages()),
+      directory_(config.system.client_cache_pages), inbox_(simulator) {
+  const storage::DiskTiming timing{
+      sim::MillisToTicks(config.system.seek_low_ms),
+      sim::MillisToTicks(config.system.seek_high_ms),
+      sim::MillisToTicks(config.system.disk_transfer_ms)};
+  for (int d = 0; d < config.system.num_data_disks; ++d) {
+    data_disks_.push_back(std::make_unique<storage::Disk>(
+        simulator, "data_disk" + std::to_string(d), timing,
+        sim::Pcg32(seed, 0x100 + static_cast<std::uint64_t>(d))));
+  }
+  for (int d = 0; d < config.system.num_log_disks; ++d) {
+    log_disks_.push_back(std::make_unique<storage::Disk>(
+        simulator, "log_disk" + std::to_string(d), timing,
+        sim::Pcg32(seed, 0x200 + static_cast<std::uint64_t>(d))));
+  }
+  server_proc_page_ticks_ = sim::CpuDemand(
+      config.system.server_proc_page_instr, config.system.server_mips);
+  const sim::Ticks init_disk_cost = sim::CpuDemand(
+      config.system.init_disk_cost_instr, config.system.server_mips);
+
+  storage::BufferPool::Params pool_params;
+  pool_params.capacity_pages = config.system.server_buffer_pages;
+  pool_params.init_disk_cost = init_disk_cost;
+  pool_ = std::make_unique<storage::BufferPool>(
+      simulator, pool_params, layout, data_disks(), &cpu_);
+
+  storage::LogManager::Params log_params;
+  log_params.enabled = config.algorithm.enable_log_manager;
+  log_params.init_disk_cost = init_disk_cost;
+  log_ = std::make_unique<storage::LogManager>(log_params, layout,
+                                               log_disks(), data_disks(),
+                                               &cpu_);
+
+  const sim::Ticks msg_cost =
+      sim::CpuDemand(config.system.msg_cost_instr, config.system.server_mips);
+  network_->RegisterEndpoint(
+      net::kServerNode, net::Network::Endpoint{&inbox_, &cpu_, msg_cost});
+}
+
+Server::~Server() = default;
+
+std::vector<storage::Disk*> Server::data_disks() {
+  std::vector<storage::Disk*> out;
+  out.reserve(data_disks_.size());
+  for (auto& d : data_disks_) {
+    out.push_back(d.get());
+  }
+  return out;
+}
+
+std::vector<storage::Disk*> Server::log_disks() {
+  std::vector<storage::Disk*> out;
+  out.reserve(log_disks_.size());
+  for (auto& d : log_disks_) {
+    out.push_back(d.get());
+  }
+  return out;
+}
+
+void Server::set_protocol(std::unique_ptr<proto::ServerProtocol> protocol) {
+  protocol_ = std::move(protocol);
+}
+
+void Server::Start() {
+  CCSIM_CHECK_MSG(protocol_ != nullptr, "set_protocol before Start");
+  simulator_->Spawn(Dispatch());
+}
+
+sim::Task<void> Server::Send(net::Message msg) {
+  msg.src = net::kServerNode;
+  co_await network_->Send(std::move(msg));
+}
+
+sim::Task<void> Server::Reply(const net::Message& request,
+                              net::Message reply) {
+  reply.src = net::kServerNode;
+  reply.dst = request.src;
+  reply.xact = request.xact;
+  reply.request_id = request.request_id;
+  co_await network_->Send(std::move(reply));
+}
+
+XactState* Server::FindXact(std::uint64_t uid) {
+  auto it = xacts_.find(uid);
+  return it == xacts_.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t Server::ActiveXactOfClient(int client) const {
+  auto it = active_by_client_.find(client);
+  return it == active_by_client_.end() ? 0 : it->second;
+}
+
+bool Server::IsStale(const net::Message& msg) const {
+  if (msg.xact == 0 || msg.src == net::kServerNode) {
+    return false;
+  }
+  auto it = last_finished_.find(msg.src);
+  return it != last_finished_.end() && msg.xact <= it->second;
+}
+
+bool Server::IsSynchronous(net::MsgType type) {
+  switch (type) {
+    case net::MsgType::kReadRequest:
+    case net::MsgType::kUpgradeRequest:
+    case net::MsgType::kCommitRequest:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Server::IsTransactional(net::MsgType type) {
+  switch (type) {
+    case net::MsgType::kReadRequest:
+    case net::MsgType::kUpgradeRequest:
+    case net::MsgType::kCommitRequest:
+    case net::MsgType::kNoWaitLock:
+    case net::MsgType::kDirtyEvict:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void Server::Admit(const net::Message& msg) {
+  auto state = std::make_unique<XactState>();
+  state->uid = msg.xact;
+  state->client = msg.src;
+  state->async_resolved = std::make_unique<sim::Event>(simulator_);
+  active_.insert(msg.xact);
+  active_by_client_[msg.src] = msg.xact;
+  xacts_.emplace(msg.xact, std::move(state));
+}
+
+sim::Process Server::ReplyAbortedTo(net::Message request) {
+  net::Message reply;
+  switch (request.type) {
+    case net::MsgType::kReadRequest:
+      reply.type = net::MsgType::kReadReply;
+      break;
+    case net::MsgType::kUpgradeRequest:
+      reply.type = net::MsgType::kUpgradeReply;
+      break;
+    case net::MsgType::kCommitRequest:
+      reply.type = net::MsgType::kCommitReply;
+      break;
+    default:
+      CCSIM_UNREACHABLE();
+  }
+  reply.aborted = true;
+  co_await Reply(request, std::move(reply));
+}
+
+sim::Process Server::Dispatch() {
+  while (true) {
+    net::Message msg = co_await inbox_.Receive();
+    if (IsStale(msg)) {
+      // A request from an attempt the server already finished (e.g. the
+      // client was aborted asynchronously while this was in flight).
+      if (IsSynchronous(msg.type)) {
+        simulator_->Spawn(ReplyAbortedTo(std::move(msg)));
+      }
+      continue;
+    }
+    if (IsTransactional(msg.type) && FindXact(msg.xact) == nullptr) {
+      if (static_cast<int>(active_.size()) >= config_.system.mpl) {
+        // MPL reached: the new transaction waits in the ready queue.
+        ready_.push_back(std::move(msg));
+        continue;
+      }
+      Admit(msg);
+    }
+    simulator_->Spawn(protocol_->Handle(std::move(msg)));
+  }
+}
+
+void Server::PumpReady() {
+  std::deque<net::Message> keep;
+  while (!ready_.empty()) {
+    net::Message msg = std::move(ready_.front());
+    ready_.pop_front();
+    if (IsStale(msg)) {
+      if (IsSynchronous(msg.type)) {
+        simulator_->Spawn(ReplyAbortedTo(std::move(msg)));
+      }
+      continue;
+    }
+    if (FindXact(msg.xact) != nullptr) {
+      simulator_->Spawn(protocol_->Handle(std::move(msg)));
+      continue;
+    }
+    if (static_cast<int>(active_.size()) < config_.system.mpl) {
+      Admit(msg);
+      simulator_->Spawn(protocol_->Handle(std::move(msg)));
+      continue;
+    }
+    keep.push_back(std::move(msg));
+  }
+  ready_.swap(keep);
+}
+
+sim::Task<void> Server::ReadPagesToClient(XactState& state,
+                                          std::vector<db::PageId> pages,
+                                          net::Message* reply,
+                                          bool record_reads) {
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    const db::PageId page = pages[i];
+    const bool sequential =
+        i > 0 && pages[i] == pages[i - 1] + 1 && DrawClustered();
+    co_await pool_->FetchPage(page, sequential);
+    if (server_proc_page_ticks_ > 0) {
+      co_await cpu_.Use(server_proc_page_ticks_);
+    }
+    const std::uint64_t version = versions_.Get(page);
+    reply->data_pages.push_back(page);
+    reply->data_versions.push_back(version);
+    if (record_reads) {
+      state.read_versions[page] = version;
+    }
+    directory_.Note(state.client, page);
+  }
+}
+
+sim::Task<void> Server::InstallClientUpdates(
+    XactState& state, const std::vector<db::PageId>& pages,
+    std::uint64_t pool_owner, bool charge_cpu) {
+  for (db::PageId page : pages) {
+    if (charge_cpu && server_proc_page_ticks_ > 0) {
+      co_await cpu_.Use(server_proc_page_ticks_);
+    }
+    co_await pool_->InstallPage(page, pool_owner);
+    state.updated.insert(page);
+  }
+}
+
+void Server::BumpVersionsAndRecord(XactState& state, net::Message* reply) {
+  // Serializability oracle: every version this transaction read must still
+  // be current at commit. This holds for every correct algorithm in the
+  // study (locks are held / validation just passed); a violation is a
+  // protocol implementation bug.
+  for (const auto& [page, version] : state.read_versions) {
+    CCSIM_CHECK_MSG(versions_.Get(page) == version,
+                    "commit read-currency violated on page %d", page);
+  }
+  runner::Metrics::CommitRecord record;
+  const bool record_history = metrics_->record_history();
+  if (record_history) {
+    record.client = state.client;
+    record.xact = state.uid;
+    record.reads.assign(state.read_versions.begin(),
+                        state.read_versions.end());
+  }
+  for (db::PageId page : state.updated) {
+    const std::uint64_t new_version = versions_.Bump(page);
+    reply->pages.push_back(page);
+    reply->versions.push_back(new_version);
+    if (record_history) {
+      record.writes.emplace_back(page, new_version);
+    }
+  }
+  if (record_history) {
+    record.at = simulator_->Now();
+    metrics_->AddHistory(std::move(record));
+  }
+}
+
+sim::Task<void> Server::CommitTail(XactState& state) {
+  pool_->CommitTransaction(state.uid);
+  co_await log_->ForceCommit(static_cast<int>(state.updated.size()));
+  MarkDone(state);
+}
+
+sim::Task<void> Server::FinalizeCommit(XactState& state,
+                                       net::Message* reply) {
+  BumpVersionsAndRecord(state, reply);
+  co_await CommitTail(state);
+}
+
+sim::Task<void> Server::AbortPipeline(XactState& state) {
+  CCSIM_CHECK(!state.done);
+  state.aborted = true;
+  locks_.CancelOwner(state.uid);
+  const std::vector<db::PageId> flushed = pool_->AbortTransaction(state.uid);
+  co_await log_->ProcessAbort(flushed);
+  MarkDone(state);
+}
+
+void Server::MarkDone(XactState& state) {
+  CCSIM_CHECK(!state.done);
+  state.done = true;
+  active_.erase(state.uid);
+  auto it = active_by_client_.find(state.client);
+  if (it != active_by_client_.end() && it->second == state.uid) {
+    active_by_client_.erase(it);
+  }
+  std::uint64_t& last = last_finished_[state.client];
+  last = std::max(last, state.uid);
+  PumpReady();
+}
+
+}  // namespace ccsim::server

@@ -1,0 +1,208 @@
+#ifndef CCSIM_SERVER_SERVER_H_
+#define CCSIM_SERVER_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "config/params.h"
+#include "db/database.h"
+#include "lock/lock_manager.h"
+#include "net/network.h"
+#include "runner/metrics.h"
+#include "server/directory.h"
+#include "sim/event.h"
+#include "sim/process.h"
+#include "sim/random.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk.h"
+#include "storage/log_manager.h"
+
+namespace ccsim::proto {
+class ServerProtocol;
+}  // namespace ccsim::proto
+
+namespace ccsim::server {
+
+/// Server-side state of one transaction attempt.
+struct XactState {
+  std::uint64_t uid = 0;
+  int client = 0;
+  bool done = false;
+  bool aborted = false;
+  /// (page -> version read) for the serializability oracle and, in 2PL-like
+  /// protocols, built as locks/fetches are granted.
+  std::unordered_map<db::PageId, std::uint64_t> read_versions;
+  /// Pages updated by this transaction (installed in the buffer pool for
+  /// in-place protocols; staged for certification).
+  std::unordered_set<db::PageId> updated;
+  /// No-wait locking: asynchronous requests still being processed.
+  int pending_async = 0;
+  /// Signalled whenever pending_async reaches zero.
+  std::unique_ptr<sim::Event> async_resolved;
+  /// Pages found stale, reported to the client with the abort.
+  std::vector<db::PageId> stale_pages;
+  /// Updated pages received before commit but not yet applicable in place:
+  /// certification's server-side private buffer, and no-wait dirty
+  /// evictions whose X lock is still pending.
+  std::unordered_set<db::PageId> deferred;
+};
+
+/// The database server (paper §3.3.4): CPU(s), data and log disks, buffer
+/// pool, log manager, lock manager, page versions, the caching directory,
+/// MPL admission control, and the algorithm-specific server transaction
+/// manager (a proto::ServerProtocol).
+class Server {
+ public:
+  Server(sim::Simulator* simulator, const config::ExperimentConfig& config,
+         const db::DatabaseLayout* layout, net::Network* network,
+         runner::Metrics* metrics, std::uint64_t seed);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Must be called before Start().
+  void set_protocol(std::unique_ptr<proto::ServerProtocol> protocol);
+
+  /// Spawns the dispatcher process.
+  void Start();
+
+  // --- surface used by protocol implementations ---
+
+  sim::Simulator& simulator() { return *simulator_; }
+  const config::ExperimentConfig& config() const { return config_; }
+  const db::DatabaseLayout& layout() const { return *layout_; }
+  sim::Resource& cpu() { return cpu_; }
+  lock::LockManager& locks() { return locks_; }
+  storage::BufferPool& pool() { return *pool_; }
+  storage::LogManager& log() { return *log_; }
+  db::VersionTable& versions() { return versions_; }
+  Directory& directory() { return directory_; }
+  runner::Metrics& metrics() { return *metrics_; }
+  sim::Mailbox<net::Message>& inbox() { return inbox_; }
+  std::vector<storage::Disk*> data_disks();
+  std::vector<storage::Disk*> log_disks();
+
+  /// Sends a message from the server (charges server CPU for the send).
+  sim::Task<void> Send(net::Message msg);
+
+  /// Builds and sends the reply to a synchronous request.
+  sim::Task<void> Reply(const net::Message& request, net::Message reply);
+
+  /// Looks up a transaction's state (nullptr if unknown).
+  XactState* FindXact(std::uint64_t uid);
+
+  /// Uid of the client's transaction currently active at the server (0 if
+  /// none). Used as the waits-for proxy for retained locks.
+  std::uint64_t ActiveXactOfClient(int client) const;
+
+  /// Fetches `pages` through the buffer pool, charges ServerProcPage per
+  /// page, appends (page, data, version) to the reply, and notes the copies
+  /// in the directory. With `record_reads`, the versions enter
+  /// state.read_versions for the commit-time serializability oracle
+  /// (lock-based protocols; certification supplies its read set at commit
+  /// instead).
+  sim::Task<void> ReadPagesToClient(XactState& state,
+                                    std::vector<db::PageId> pages,
+                                    net::Message* reply, bool record_reads);
+
+  /// Applies client page images: ServerProcPage per page (when `charge_cpu`)
+  /// + buffer install under `pool_owner` (the transaction uid for in-place
+  /// protocols; BufferPool::kCommitted when applying already-committed
+  /// deferred updates); tracks the pages in state.updated.
+  sim::Task<void> InstallClientUpdates(XactState& state,
+                                       const std::vector<db::PageId>& pages,
+                                       std::uint64_t pool_owner,
+                                       bool charge_cpu);
+
+  /// Synchronous commit point: asserts the serializability oracle (every
+  /// read version is still current), bumps versions of the pages in
+  /// state.updated (appended to reply->pages/versions), and records commit
+  /// history. Runs without awaiting so validation and version installation
+  /// are atomic with respect to rival commits.
+  void BumpVersionsAndRecord(XactState& state, net::Message* reply);
+
+  /// Commit tail: buffer-pool commit, log force, admission-slot release.
+  sim::Task<void> CommitTail(XactState& state);
+
+  /// BumpVersionsAndRecord + CommitTail (the common in-place commit path).
+  /// Lock disposition is left to the protocol.
+  sim::Task<void> FinalizeCommit(XactState& state, net::Message* reply);
+
+  /// Abort tail: cancels lock waits, releases locks, reverts the buffer
+  /// pool, charges undo I/O, releases the admission slot.
+  sim::Task<void> AbortPipeline(XactState& state);
+
+  /// Marks the transaction finished and admits queued work.
+  void MarkDone(XactState& state);
+
+  /// Server ServerProcPage cost in ticks.
+  sim::Ticks page_processing_cost() const { return server_proc_page_ticks_; }
+
+  /// Bernoulli draw with the database ClusterFactor (sequential-read
+  /// modeling).
+  bool DrawClustered() {
+    return rng_.Bernoulli(layout_->cluster_factor());
+  }
+
+  int active_transactions() const { return static_cast<int>(active_.size()); }
+
+  /// Debug: snapshot of the active transactions.
+  std::vector<const XactState*> ActiveXactStates() const {
+    std::vector<const XactState*> out;
+    for (std::uint64_t uid : active_) {
+      auto it = xacts_.find(uid);
+      if (it != xacts_.end()) {
+        out.push_back(it->second.get());
+      }
+    }
+    return out;
+  }
+  std::size_t ready_queue_length() const { return ready_.size(); }
+
+ private:
+  sim::Process Dispatch();
+  sim::Process ReplyAbortedTo(net::Message request);
+  void PumpReady();
+  bool IsStale(const net::Message& msg) const;
+  static bool IsSynchronous(net::MsgType type);
+  static bool IsTransactional(net::MsgType type);
+  void Admit(const net::Message& msg);
+
+  sim::Simulator* simulator_;
+  const config::ExperimentConfig& config_;
+  const db::DatabaseLayout* layout_;
+  net::Network* network_;
+  runner::Metrics* metrics_;
+  sim::Pcg32 rng_;
+
+  sim::Resource cpu_;
+  std::vector<std::unique_ptr<storage::Disk>> data_disks_;
+  std::vector<std::unique_ptr<storage::Disk>> log_disks_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<storage::LogManager> log_;
+  lock::LockManager locks_;
+  db::VersionTable versions_;
+  Directory directory_;
+  sim::Mailbox<net::Message> inbox_;
+  std::unique_ptr<proto::ServerProtocol> protocol_;
+
+  sim::Ticks server_proc_page_ticks_ = 0;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<XactState>> xacts_;
+  std::unordered_set<std::uint64_t> active_;
+  std::unordered_map<int, std::uint64_t> active_by_client_;
+  std::unordered_map<int, std::uint64_t> last_finished_;
+  std::deque<net::Message> ready_;
+};
+
+}  // namespace ccsim::server
+
+#endif  // CCSIM_SERVER_SERVER_H_

@@ -1,0 +1,74 @@
+#include "sim/simulator.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace ccsim::sim {
+
+void Process::promise_type::unhandled_exception() noexcept {
+  // The library is exception-free by policy; an escaped exception means the
+  // simulation state is unrecoverable.
+  std::fprintf(stderr, "ccsim: unhandled exception escaped a sim process\n");
+  std::abort();
+}
+
+Process::promise_type::~promise_type() {
+  if (simulator != nullptr) {
+    simulator->Unregister(registry_id);
+  }
+}
+
+void Simulator::Spawn(Process process) {
+  CCSIM_CHECK_MSG(!shutting_down_, "Spawn during shutdown");
+  Process::Handle handle = process.handle();
+  CCSIM_CHECK(handle);
+  Process::promise_type& promise = handle.promise();
+  promise.simulator = this;
+  promise.registry_id = next_registry_id_++;
+  live_processes_.emplace(promise.registry_id, handle);
+  // First step runs at the current time, in FIFO order with other events.
+  ScheduleAt(now_, [handle] { handle.resume(); });
+}
+
+std::uint64_t Simulator::Run(Ticks until) {
+  std::uint64_t processed = 0;
+  stop_requested_ = false;
+  while (!calendar_.empty() && !stop_requested_) {
+    const CalendarEntry& top = calendar_.top();
+    if (top.when > until) {
+      break;
+    }
+    CCSIM_DCHECK(top.when >= now_);
+    now_ = top.when;
+    // Move the callback out before popping so it survives the pop.
+    std::function<void()> fn = std::move(const_cast<CalendarEntry&>(top).fn);
+    calendar_.pop();
+    fn();
+    ++processed;
+    ++events_processed_;
+  }
+  if (calendar_.empty() || stop_requested_) {
+    // Clock does not advance past the last event.
+    return processed;
+  }
+  now_ = until;
+  return processed;
+}
+
+void Simulator::Shutdown() {
+  shutting_down_ = true;
+  // Destroying a frame unregisters it from live_processes_ (via ~promise),
+  // so loop until empty rather than iterating.
+  while (!live_processes_.empty()) {
+    Process::Handle handle = live_processes_.begin()->second;
+    handle.destroy();
+  }
+  // Drop pending events; they may capture handles that no longer exist.
+  while (!calendar_.empty()) {
+    calendar_.pop();
+  }
+  shutting_down_ = false;
+}
+
+}  // namespace ccsim::sim

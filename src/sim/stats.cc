@@ -1,0 +1,40 @@
+#include "sim/stats.h"
+
+namespace ccsim::sim {
+namespace {
+
+/// Two-sided 90% Student-t critical values for small degrees of freedom;
+/// falls back to the normal quantile (1.645) beyond the table.
+double TCritical90(std::size_t degrees_of_freedom) {
+  static constexpr double kTable[] = {
+      0.0,   6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895,
+      1.860, 1.833, 1.812, 1.796, 1.782, 1.771, 1.761, 1.753,
+      1.746, 1.740, 1.734, 1.729, 1.725, 1.721, 1.717, 1.714,
+      1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697};
+  if (degrees_of_freedom == 0) {
+    return 0.0;
+  }
+  if (degrees_of_freedom < sizeof(kTable) / sizeof(kTable[0])) {
+    return kTable[degrees_of_freedom];
+  }
+  return 1.645;
+}
+
+}  // namespace
+
+double BatchMeans::HalfWidth90() const {
+  const std::size_t n = batch_means_.size();
+  if (n < 2) {
+    return 0.0;
+  }
+  const double mean = Mean();
+  double ss = 0.0;
+  for (double m : batch_means_) {
+    ss += (m - mean) * (m - mean);
+  }
+  const double sample_var = ss / static_cast<double>(n - 1);
+  const double std_err = std::sqrt(sample_var / static_cast<double>(n));
+  return TCritical90(n - 1) * std_err;
+}
+
+}  // namespace ccsim::sim

@@ -1,0 +1,47 @@
+#ifndef CCSIM_SIM_TIME_H_
+#define CCSIM_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace ccsim::sim {
+
+/// Simulated time, in integer microseconds.
+///
+/// Integer ticks make event ordering exact and runs bit-reproducible. One
+/// microsecond resolution is convenient for this model: a CPU demand of
+/// `instructions / mips` is exactly `instructions / mips` microseconds.
+using Ticks = std::int64_t;
+
+inline constexpr Ticks kTicksPerMicrosecond = 1;
+inline constexpr Ticks kTicksPerMillisecond = 1000;
+inline constexpr Ticks kTicksPerSecond = 1000 * 1000;
+
+/// Converts seconds (double) to ticks, rounding to nearest.
+constexpr Ticks SecondsToTicks(double seconds) {
+  return static_cast<Ticks>(seconds * static_cast<double>(kTicksPerSecond) +
+                            0.5);
+}
+
+/// Converts milliseconds (double) to ticks, rounding to nearest.
+constexpr Ticks MillisToTicks(double millis) {
+  return static_cast<Ticks>(millis * static_cast<double>(kTicksPerMillisecond) +
+                            0.5);
+}
+
+/// Converts ticks to seconds.
+constexpr double TicksToSeconds(Ticks t) {
+  return static_cast<double>(t) / static_cast<double>(kTicksPerSecond);
+}
+
+/// CPU demand of `instructions` at `mips` million instructions per second,
+/// in ticks. `instructions / mips` is microseconds by construction.
+constexpr Ticks CpuDemand(double instructions, double mips) {
+  if (instructions <= 0 || mips <= 0) {
+    return 0;
+  }
+  return static_cast<Ticks>(instructions / mips + 0.5);
+}
+
+}  // namespace ccsim::sim
+
+#endif  // CCSIM_SIM_TIME_H_

@@ -1,0 +1,45 @@
+#include "storage/log_manager.h"
+
+#include "util/macros.h"
+
+namespace ccsim::storage {
+
+sim::Task<void> LogManager::ForceCommit(int updated_pages) {
+  if (!params_.enabled || updated_pages == 0) {
+    co_return;
+  }
+  CCSIM_CHECK(!log_disks_.empty());
+  // One sequential log block carries the commit record plus the (small)
+  // update records of a transaction. Log disks are dedicated, so appends
+  // pay transfer time only.
+  Disk* disk = log_disks_[next_log_disk_];
+  next_log_disk_ = (next_log_disk_ + 1) % log_disks_.size();
+  ++commits_logged_;
+  co_await server_cpu_->Use(params_.init_disk_cost);
+  co_await disk->Append(/*blocks=*/1);
+}
+
+sim::Task<void> LogManager::ProcessAbort(
+    const std::vector<db::PageId>& flushed_pages) {
+  if (!params_.enabled || flushed_pages.empty()) {
+    co_return;
+  }
+  CCSIM_CHECK(!log_disks_.empty());
+  // Read the transaction's log tail (one sequential block) ...
+  Disk* log_disk = log_disks_[next_log_disk_];
+  next_log_disk_ = (next_log_disk_ + 1) % log_disks_.size();
+  co_await server_cpu_->Use(params_.init_disk_cost);
+  co_await log_disk->Append(/*blocks=*/1);
+  // ... then undo each flushed page in place: read + write on its disk.
+  for (db::PageId page : flushed_pages) {
+    Disk* data_disk =
+        data_disks_[static_cast<std::size_t>(layout_->DiskOfPage(page))];
+    undo_page_ios_ += 2;
+    co_await server_cpu_->Use(params_.init_disk_cost);
+    co_await data_disk->Access(/*sequential=*/false);
+    co_await server_cpu_->Use(params_.init_disk_cost);
+    co_await data_disk->Access(/*sequential=*/false);
+  }
+}
+
+}  // namespace ccsim::storage

@@ -1,0 +1,114 @@
+#ifndef CCSIM_UTIL_STATUS_H_
+#define CCSIM_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/macros.h"
+
+namespace ccsim {
+
+/// Error categories used across the library. Follows the Arrow/RocksDB
+/// convention of returning a Status from fallible API entry points instead of
+/// throwing exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Lightweight status object: an error code plus a human-readable message.
+/// Ok statuses carry no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Modeled on arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error status, so call sites can
+  /// `return value;` or `return Status::InvalidArgument(...)`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                          // NOLINT(runtime/explicit)
+      : value_(std::move(status)) {
+    CCSIM_CHECK(!std::get<Status>(value_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(value_);
+  }
+
+  /// Returns the contained value; fatal if this holds an error.
+  const T& ValueOrDie() const {
+    CCSIM_CHECK_MSG(ok(), "Result holds error: %s",
+                    std::get<Status>(value_).message().c_str());
+    return std::get<T>(value_);
+  }
+  T& ValueOrDie() {
+    CCSIM_CHECK_MSG(ok(), "Result holds error: %s",
+                    std::get<Status>(value_).message().c_str());
+    return std::get<T>(value_);
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define CCSIM_RETURN_NOT_OK(expr)             \
+  do {                                        \
+    ::ccsim::Status _st = (expr);             \
+    if (CCSIM_PREDICT_FALSE(!_st.ok())) {     \
+      return _st;                             \
+    }                                         \
+  } while (false)
+
+}  // namespace ccsim
+
+#endif  // CCSIM_UTIL_STATUS_H_

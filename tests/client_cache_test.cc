@@ -1,0 +1,128 @@
+// Unit tests for the client cache manager: LRU replacement with pinning,
+// eviction reporting, per-transaction state, and statistics.
+
+#include <gtest/gtest.h>
+
+#include "client/client_cache.h"
+
+namespace ccsim::client {
+namespace {
+
+CachedPage Page(std::uint64_t version) {
+  CachedPage page;
+  page.version = version;
+  return page;
+}
+
+TEST(ClientCacheTest, InsertWithinCapacityEvictsNothing) {
+  ClientCache cache(3);
+  EXPECT_TRUE(cache.Insert(1, Page(1)).empty());
+  EXPECT_TRUE(cache.Insert(2, Page(1)).empty());
+  EXPECT_TRUE(cache.Insert(3, Page(1)).empty());
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(ClientCacheTest, LruEvictionOrder) {
+  ClientCache cache(3);
+  cache.Insert(1, Page(1));
+  cache.Insert(2, Page(1));
+  cache.Insert(3, Page(1));
+  cache.Touch(1);  // order (MRU..LRU): 1 3 2
+  const auto victims = cache.Insert(4, Page(1));
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0].page, 2);
+  EXPECT_FALSE(cache.Contains(2));
+}
+
+TEST(ClientCacheTest, PinnedPagesSurviveEviction) {
+  ClientCache cache(2);
+  cache.Insert(1, Page(1));
+  cache.Insert(2, Page(1));
+  cache.Pin(1);
+  const auto victims = cache.Insert(3, Page(1));
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0].page, 2);
+  EXPECT_TRUE(cache.Contains(1));
+}
+
+TEST(ClientCacheTest, AllPinnedOverflowsSoftly) {
+  ClientCache cache(2);
+  cache.Insert(1, Page(1));
+  cache.Insert(2, Page(1));
+  cache.Pin(1);
+  cache.Pin(2);
+  const auto victims = cache.Insert(3, Page(1));
+  EXPECT_TRUE(victims.empty());
+  EXPECT_EQ(cache.size(), 3u);  // soft overflow rather than deadlock
+  EXPECT_EQ(cache.overflow_inserts(), 1u);
+}
+
+TEST(ClientCacheTest, EvictionReportsMetadata) {
+  ClientCache cache(1);
+  CachedPage dirty = Page(7);
+  dirty.dirty = true;
+  dirty.retained = true;
+  cache.Insert(1, dirty);
+  const auto victims = cache.Insert(2, Page(1));
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_TRUE(victims[0].info.dirty);
+  EXPECT_TRUE(victims[0].info.retained);
+  EXPECT_EQ(victims[0].info.version, 7u);
+}
+
+TEST(ClientCacheTest, EndTransactionClearsPerXactState) {
+  ClientCache cache(4);
+  CachedPage page = Page(1);
+  page.lock = PageLock::kExclusive;
+  page.checked_this_xact = true;
+  page.requested_this_xact = true;
+  page.retained = true;
+  cache.Insert(1, page);
+  cache.Pin(1);
+  cache.EndTransaction();
+  const CachedPage* entry = cache.Find(1);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->lock, PageLock::kNone);
+  EXPECT_FALSE(entry->checked_this_xact);
+  EXPECT_FALSE(entry->requested_this_xact);
+  EXPECT_TRUE(entry->retained);  // retention survives transactions
+  EXPECT_FALSE(cache.IsPinned(1));
+}
+
+TEST(ClientCacheTest, DirtyPagesListsMruFirst) {
+  ClientCache cache(4);
+  CachedPage dirty = Page(1);
+  dirty.dirty = true;
+  cache.Insert(1, dirty);
+  cache.Insert(2, Page(1));
+  cache.Insert(3, dirty);
+  EXPECT_EQ(cache.DirtyPages(), (std::vector<db::PageId>{3, 1}));
+}
+
+TEST(ClientCacheTest, ClearDropsEverything) {
+  ClientCache cache(4);
+  cache.Insert(1, Page(1));
+  cache.Insert(2, Page(1));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Contains(1));
+}
+
+TEST(ClientCacheTest, HitMissCounters) {
+  ClientCache cache(4);
+  cache.RecordHit();
+  cache.RecordHit();
+  cache.RecordMiss();
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.ResetStats();
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(ClientCacheTest, IsPinnedFalseForUnknownPage) {
+  ClientCache cache(4);
+  EXPECT_FALSE(cache.IsPinned(99));
+}
+
+}  // namespace
+}  // namespace ccsim::client

@@ -1,0 +1,146 @@
+// Unit tests for configuration presets and validation.
+
+#include <gtest/gtest.h>
+
+#include "config/params.h"
+
+namespace ccsim::config {
+namespace {
+
+TEST(ConfigTest, BaseConfigMatchesTable5) {
+  const ExperimentConfig cfg = BaseConfig();
+  EXPECT_EQ(cfg.database.num_classes, 40);
+  EXPECT_EQ(cfg.database.PagesInClass(0), 50);
+  EXPECT_EQ(cfg.database.TotalPages(), 2000);
+  EXPECT_DOUBLE_EQ(cfg.database.cluster_factor, 1.0);
+  EXPECT_EQ(cfg.transaction.min_xact_size, 4);
+  EXPECT_EQ(cfg.transaction.max_xact_size, 12);
+  EXPECT_DOUBLE_EQ(cfg.transaction.external_delay_s, 1.0);
+  EXPECT_EQ(cfg.transaction.inter_xact_set_size, 20);
+  EXPECT_DOUBLE_EQ(cfg.system.net_delay_ms, 2.0);
+  EXPECT_EQ(cfg.system.packet_size_bytes, 4096);
+  EXPECT_DOUBLE_EQ(cfg.system.msg_cost_instr, 5000);
+  EXPECT_DOUBLE_EQ(cfg.system.server_mips, 2.0);
+  EXPECT_DOUBLE_EQ(cfg.system.client_mips, 1.0);
+  EXPECT_EQ(cfg.system.num_data_disks, 2);
+  EXPECT_EQ(cfg.system.num_log_disks, 1);
+  EXPECT_EQ(cfg.system.client_cache_pages, 100);
+  EXPECT_EQ(cfg.system.server_buffer_pages, 400);
+  EXPECT_DOUBLE_EQ(cfg.system.seek_high_ms, 44.0);
+  EXPECT_DOUBLE_EQ(cfg.system.disk_transfer_ms, 2.0);
+  EXPECT_DOUBLE_EQ(cfg.system.server_proc_page_instr, 10000);
+  EXPECT_DOUBLE_EQ(cfg.system.client_proc_page_instr, 20000);
+  EXPECT_EQ(cfg.system.mpl, 50);
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
+TEST(ConfigTest, AclConfigMatchesTable4) {
+  const ExperimentConfig cfg = AclVerificationConfig();
+  EXPECT_EQ(cfg.database.num_classes, 2);
+  EXPECT_EQ(cfg.database.PagesInClass(0), 500);
+  EXPECT_DOUBLE_EQ(cfg.transaction.prob_write, 0.25);
+  EXPECT_EQ(cfg.system.num_clients, 200);
+  EXPECT_DOUBLE_EQ(cfg.system.server_mips, 1.0);
+  EXPECT_EQ(cfg.system.client_cache_pages, 12);
+  EXPECT_EQ(cfg.system.server_buffer_pages, 1);
+  EXPECT_DOUBLE_EQ(cfg.system.seek_low_ms, 35.0);
+  EXPECT_DOUBLE_EQ(cfg.system.seek_high_ms, 35.0);
+  EXPECT_DOUBLE_EQ(cfg.system.server_proc_page_instr, 15000);
+  EXPECT_FALSE(cfg.algorithm.enable_log_manager);
+  EXPECT_EQ(cfg.algorithm.caching, CachingMode::kIntraTransaction);
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
+TEST(ConfigTest, ValidationCatchesBadRanges) {
+  {
+    ExperimentConfig cfg = BaseConfig();
+    cfg.transaction.prob_write = -0.1;
+    EXPECT_FALSE(cfg.Validate().ok());
+  }
+  {
+    ExperimentConfig cfg = BaseConfig();
+    cfg.transaction.min_xact_size = 10;
+    cfg.transaction.max_xact_size = 4;
+    EXPECT_FALSE(cfg.Validate().ok());
+  }
+  {
+    ExperimentConfig cfg = BaseConfig();
+    cfg.system.num_clients = 0;
+    EXPECT_FALSE(cfg.Validate().ok());
+  }
+  {
+    ExperimentConfig cfg = BaseConfig();
+    cfg.system.seek_low_ms = 10;
+    cfg.system.seek_high_ms = 5;
+    EXPECT_FALSE(cfg.Validate().ok());
+  }
+  {
+    ExperimentConfig cfg = BaseConfig();
+    cfg.database.cluster_factor = 1.5;
+    EXPECT_FALSE(cfg.Validate().ok());
+  }
+  {
+    ExperimentConfig cfg = BaseConfig();
+    cfg.system.mpl = 0;
+    EXPECT_FALSE(cfg.Validate().ok());
+  }
+}
+
+TEST(ConfigTest, CacheMustHoldWorkingSet) {
+  ExperimentConfig cfg = BaseConfig();
+  cfg.system.client_cache_pages = 5;  // < MaxXactSize
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(ConfigTest, LocalityNeedsInterXactSet) {
+  ExperimentConfig cfg = BaseConfig();
+  cfg.transaction.inter_xact_set_size = 0;
+  cfg.transaction.inter_xact_loc = 0.5;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg.transaction.inter_xact_loc = 0.0;
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
+TEST(ConfigTest, ObjectSizeBounds) {
+  ExperimentConfig cfg = BaseConfig();
+  cfg.database.object_size = {0};
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg.database.object_size = {51};  // > pages per class
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg.database.object_size = {12};
+  cfg.system.client_cache_pages = 400;  // working set grows with objects
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
+TEST(ConfigTest, AlgorithmLabels) {
+  EXPECT_EQ(AlgorithmLabel(Algorithm::kTwoPhaseLocking,
+                           CachingMode::kInterTransaction),
+            "2PL-inter");
+  EXPECT_EQ(AlgorithmLabel(Algorithm::kTwoPhaseLocking,
+                           CachingMode::kIntraTransaction),
+            "2PL-intra");
+  EXPECT_EQ(AlgorithmLabel(Algorithm::kCallbackLocking,
+                           CachingMode::kInterTransaction),
+            "callback");
+  EXPECT_EQ(AlgorithmLabel(Algorithm::kNoWaitNotify,
+                           CachingMode::kInterTransaction),
+            "no-wait+notify");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kCertification), "certification");
+  EXPECT_STREQ(CachingModeName(CachingMode::kIntraTransaction), "intra");
+}
+
+TEST(ConfigTest, IntraModeOnlyForTwoPhaseAndCertification) {
+  ExperimentConfig cfg = BaseConfig();
+  cfg.algorithm.caching = CachingMode::kIntraTransaction;
+  for (Algorithm algorithm :
+       {Algorithm::kCallbackLocking, Algorithm::kNoWaitLocking,
+        Algorithm::kNoWaitNotify}) {
+    cfg.algorithm.algorithm = algorithm;
+    EXPECT_FALSE(cfg.Validate().ok());
+  }
+  cfg.algorithm.algorithm = Algorithm::kCertification;
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
+}  // namespace
+}  // namespace ccsim::config

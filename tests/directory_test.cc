@@ -1,0 +1,85 @@
+// Unit tests for the server's caching directory (notification targeting).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "server/directory.h"
+
+namespace ccsim::server {
+namespace {
+
+TEST(DirectoryTest, NoteAndQuery) {
+  Directory dir(10);
+  dir.Note(1, 100);
+  dir.Note(2, 100);
+  dir.Note(1, 200);
+  EXPECT_TRUE(dir.Caches(1, 100));
+  EXPECT_TRUE(dir.Caches(2, 100));
+  EXPECT_FALSE(dir.Caches(3, 100));
+  std::vector<int> clients = dir.ClientsCaching(100, /*except=*/-1);
+  std::sort(clients.begin(), clients.end());
+  EXPECT_EQ(clients, (std::vector<int>{1, 2}));
+}
+
+TEST(DirectoryTest, ExceptFiltersRequester) {
+  Directory dir(10);
+  dir.Note(1, 100);
+  dir.Note(2, 100);
+  EXPECT_EQ(dir.ClientsCaching(100, /*except=*/1),
+            (std::vector<int>{2}));
+}
+
+TEST(DirectoryTest, DropRemoves) {
+  Directory dir(10);
+  dir.Note(1, 100);
+  dir.Drop(1, 100);
+  EXPECT_FALSE(dir.Caches(1, 100));
+  EXPECT_TRUE(dir.ClientsCaching(100, -1).empty());
+  EXPECT_EQ(dir.page_count(), 0u);
+}
+
+TEST(DirectoryTest, DropUnknownIsNoop) {
+  Directory dir(10);
+  dir.Drop(1, 100);
+  dir.Note(1, 100);
+  dir.Drop(2, 100);  // other client
+  EXPECT_TRUE(dir.Caches(1, 100));
+}
+
+TEST(DirectoryTest, PerClientCapacityEvictsLru) {
+  Directory dir(/*per_client_capacity=*/3);
+  dir.Note(1, 10);
+  dir.Note(1, 20);
+  dir.Note(1, 30);
+  dir.Note(1, 10);  // touch 10 -> LRU is 20
+  dir.Note(1, 40);  // evicts 20
+  EXPECT_TRUE(dir.Caches(1, 10));
+  EXPECT_FALSE(dir.Caches(1, 20));
+  EXPECT_TRUE(dir.Caches(1, 30));
+  EXPECT_TRUE(dir.Caches(1, 40));
+}
+
+TEST(DirectoryTest, CapacityIsPerClient) {
+  Directory dir(2);
+  dir.Note(1, 10);
+  dir.Note(1, 20);
+  dir.Note(2, 10);
+  dir.Note(2, 30);
+  dir.Note(1, 40);  // evicts client 1's page 10 only
+  EXPECT_FALSE(dir.Caches(1, 10));
+  EXPECT_TRUE(dir.Caches(2, 10));
+}
+
+TEST(DirectoryTest, RepeatedNoteIsIdempotent) {
+  Directory dir(2);
+  dir.Note(1, 10);
+  dir.Note(1, 10);
+  dir.Note(1, 10);
+  dir.Note(1, 20);
+  EXPECT_TRUE(dir.Caches(1, 10));  // repeats did not consume capacity
+  EXPECT_TRUE(dir.Caches(1, 20));
+}
+
+}  // namespace
+}  // namespace ccsim::server

@@ -1,0 +1,313 @@
+// Unit tests for the lock manager: modes, FCFS queuing, upgrades, deadlock
+// detection, retained owners, cancellation, and transfers.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lock/lock_manager.h"
+#include "sim/process.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace ccsim::lock {
+namespace {
+
+struct AcquireLog {
+  OwnerId owner;
+  db::PageId page;
+  LockOutcome outcome;
+  sim::Ticks at;
+};
+
+sim::Process AcquireAfter(sim::Simulator& sim, LockManager& locks,
+                          sim::Ticks when, OwnerId owner, db::PageId page,
+                          LockMode mode, std::vector<AcquireLog>& log) {
+  co_await sim.Delay(when);
+  const LockOutcome outcome = co_await locks.Acquire(owner, page, mode);
+  log.push_back({owner, page, outcome, sim.Now()});
+}
+
+sim::Process ReleaseAfter(sim::Simulator& sim, LockManager& locks,
+                          sim::Ticks when, OwnerId owner, db::PageId page) {
+  co_await sim.Delay(when);
+  locks.Release(owner, page);
+}
+
+sim::Process ReleaseAllAfter(sim::Simulator& sim, LockManager& locks,
+                             sim::Ticks when, OwnerId owner) {
+  co_await sim.Delay(when);
+  locks.ReleaseAll(owner);
+}
+
+class LockManagerTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+  LockManager locks_{&sim_};
+  std::vector<AcquireLog> log_;
+};
+
+TEST_F(LockManagerTest, SharedLocksCompatible) {
+  sim_.Spawn(AcquireAfter(sim_, locks_, 0, 1, 42, LockMode::kShared, log_));
+  sim_.Spawn(AcquireAfter(sim_, locks_, 0, 2, 42, LockMode::kShared, log_));
+  sim_.Run(100);
+  ASSERT_EQ(log_.size(), 2u);
+  EXPECT_EQ(log_[0].outcome, LockOutcome::kGranted);
+  EXPECT_EQ(log_[1].outcome, LockOutcome::kGranted);
+  EXPECT_EQ(log_[1].at, 0);  // no waiting
+  EXPECT_TRUE(locks_.Holds(1, 42, LockMode::kShared));
+  EXPECT_TRUE(locks_.Holds(2, 42, LockMode::kShared));
+}
+
+TEST_F(LockManagerTest, ExclusiveBlocksShared) {
+  sim_.Spawn(AcquireAfter(sim_, locks_, 0, 1, 42, LockMode::kExclusive, log_));
+  sim_.Spawn(AcquireAfter(sim_, locks_, 5, 2, 42, LockMode::kShared, log_));
+  sim_.Spawn(ReleaseAfter(sim_, locks_, 50, 1, 42));
+  sim_.Run(100);
+  ASSERT_EQ(log_.size(), 2u);
+  EXPECT_EQ(log_[1].owner, 2u);
+  EXPECT_EQ(log_[1].at, 50);  // granted only at release
+}
+
+TEST_F(LockManagerTest, FcfsNoJumpingAheadOfQueuedExclusive) {
+  // S held; X queued; later S must NOT overtake the queued X.
+  sim_.Spawn(AcquireAfter(sim_, locks_, 0, 1, 7, LockMode::kShared, log_));
+  sim_.Spawn(AcquireAfter(sim_, locks_, 5, 2, 7, LockMode::kExclusive, log_));
+  sim_.Spawn(AcquireAfter(sim_, locks_, 10, 3, 7, LockMode::kShared, log_));
+  sim_.Spawn(ReleaseAfter(sim_, locks_, 50, 1, 7));
+  sim_.Spawn(ReleaseAfter(sim_, locks_, 80, 2, 7));
+  sim_.Run(1000);
+  ASSERT_EQ(log_.size(), 3u);
+  EXPECT_EQ(log_[1].owner, 2u);
+  EXPECT_EQ(log_[1].at, 50);
+  EXPECT_EQ(log_[2].owner, 3u);
+  EXPECT_EQ(log_[2].at, 80);
+}
+
+TEST_F(LockManagerTest, ReentrantSharedGrant) {
+  sim_.Spawn(AcquireAfter(sim_, locks_, 0, 1, 7, LockMode::kShared, log_));
+  sim_.Spawn(AcquireAfter(sim_, locks_, 5, 1, 7, LockMode::kShared, log_));
+  sim_.Run(100);
+  ASSERT_EQ(log_.size(), 2u);
+  EXPECT_EQ(log_[1].outcome, LockOutcome::kGranted);
+  EXPECT_EQ(log_[1].at, 5);
+}
+
+TEST_F(LockManagerTest, SoleHolderUpgradesInstantly) {
+  sim_.Spawn(AcquireAfter(sim_, locks_, 0, 1, 7, LockMode::kShared, log_));
+  sim_.Spawn(AcquireAfter(sim_, locks_, 5, 1, 7, LockMode::kExclusive, log_));
+  sim_.Run(100);
+  ASSERT_EQ(log_.size(), 2u);
+  EXPECT_EQ(log_[1].outcome, LockOutcome::kGranted);
+  EXPECT_EQ(log_[1].at, 5);
+  EXPECT_TRUE(locks_.Holds(1, 7, LockMode::kExclusive));
+}
+
+TEST_F(LockManagerTest, UpgradeWaitsForOtherReader) {
+  sim_.Spawn(AcquireAfter(sim_, locks_, 0, 1, 7, LockMode::kShared, log_));
+  sim_.Spawn(AcquireAfter(sim_, locks_, 0, 2, 7, LockMode::kShared, log_));
+  sim_.Spawn(AcquireAfter(sim_, locks_, 5, 1, 7, LockMode::kExclusive, log_));
+  sim_.Spawn(ReleaseAfter(sim_, locks_, 50, 2, 7));
+  sim_.Run(100);
+  ASSERT_EQ(log_.size(), 3u);
+  EXPECT_EQ(log_[2].outcome, LockOutcome::kGranted);
+  EXPECT_EQ(log_[2].at, 50);
+  EXPECT_TRUE(locks_.Holds(1, 7, LockMode::kExclusive));
+}
+
+TEST_F(LockManagerTest, UpgradeJumpsAheadOfPlainWaiters) {
+  sim_.Spawn(AcquireAfter(sim_, locks_, 0, 1, 7, LockMode::kShared, log_));
+  sim_.Spawn(AcquireAfter(sim_, locks_, 0, 2, 7, LockMode::kShared, log_));
+  // Plain X waiter queues first; then holder 1 wants an upgrade.
+  sim_.Spawn(AcquireAfter(sim_, locks_, 5, 3, 7, LockMode::kExclusive, log_));
+  sim_.Spawn(AcquireAfter(sim_, locks_, 10, 1, 7, LockMode::kExclusive, log_));
+  sim_.Spawn(ReleaseAfter(sim_, locks_, 50, 2, 7));
+  sim_.Spawn(ReleaseAllAfter(sim_, locks_, 80, 1));
+  sim_.Run(1000);
+  ASSERT_EQ(log_.size(), 4u);
+  // Upgrade (owner 1) granted at 50 when reader 2 leaves; plain X (owner 3)
+  // only after owner 1 releases everything at 80.
+  EXPECT_EQ(log_[2].owner, 1u);
+  EXPECT_EQ(log_[2].at, 50);
+  EXPECT_EQ(log_[3].owner, 3u);
+  EXPECT_EQ(log_[3].at, 80);
+}
+
+TEST_F(LockManagerTest, UpgradeUpgradeDeadlockDetected) {
+  sim_.Spawn(AcquireAfter(sim_, locks_, 0, 1, 7, LockMode::kShared, log_));
+  sim_.Spawn(AcquireAfter(sim_, locks_, 0, 2, 7, LockMode::kShared, log_));
+  sim_.Spawn(AcquireAfter(sim_, locks_, 5, 1, 7, LockMode::kExclusive, log_));
+  sim_.Spawn(AcquireAfter(sim_, locks_, 10, 2, 7, LockMode::kExclusive, log_));
+  sim_.Run(100);
+  ASSERT_EQ(log_.size(), 3u);
+  // The second upgrader closes the cycle and is refused immediately.
+  EXPECT_EQ(log_[2].owner, 2u);
+  EXPECT_EQ(log_[2].outcome, LockOutcome::kDeadlock);
+  EXPECT_EQ(locks_.deadlocks_detected(), 1u);
+  // Releasing owner 2's share lets the first upgrade through.
+  locks_.ReleaseAll(2);
+  sim_.Run(200);
+  ASSERT_EQ(log_.size(), 4u);
+  EXPECT_EQ(log_[3].owner, 1u);
+  EXPECT_EQ(log_[3].outcome, LockOutcome::kGranted);
+}
+
+TEST_F(LockManagerTest, TwoPageCycleDetected) {
+  // T1 holds X(1), T2 holds X(2); T1 waits for 2, then T2 requests 1.
+  sim_.Spawn(AcquireAfter(sim_, locks_, 0, 1, 1, LockMode::kExclusive, log_));
+  sim_.Spawn(AcquireAfter(sim_, locks_, 0, 2, 2, LockMode::kExclusive, log_));
+  sim_.Spawn(AcquireAfter(sim_, locks_, 5, 1, 2, LockMode::kExclusive, log_));
+  sim_.Spawn(AcquireAfter(sim_, locks_, 10, 2, 1, LockMode::kExclusive, log_));
+  sim_.Run(100);
+  ASSERT_EQ(log_.size(), 3u);
+  EXPECT_EQ(log_[2].owner, 2u);
+  EXPECT_EQ(log_[2].outcome, LockOutcome::kDeadlock);
+}
+
+TEST_F(LockManagerTest, CancelOwnerWakesWaiterWithAborted) {
+  sim_.Spawn(AcquireAfter(sim_, locks_, 0, 1, 7, LockMode::kExclusive, log_));
+  sim_.Spawn(AcquireAfter(sim_, locks_, 5, 2, 7, LockMode::kExclusive, log_));
+  sim_.ScheduleAt(20, [&] { locks_.CancelOwner(2); });
+  sim_.Run(100);
+  ASSERT_EQ(log_.size(), 2u);
+  EXPECT_EQ(log_[1].outcome, LockOutcome::kAborted);
+  EXPECT_EQ(log_[1].at, 20);
+}
+
+TEST_F(LockManagerTest, CancelHolderUnblocksQueue) {
+  sim_.Spawn(AcquireAfter(sim_, locks_, 0, 1, 7, LockMode::kExclusive, log_));
+  sim_.Spawn(AcquireAfter(sim_, locks_, 5, 2, 7, LockMode::kShared, log_));
+  sim_.ScheduleAt(30, [&] { locks_.CancelOwner(1); });
+  sim_.Run(100);
+  ASSERT_EQ(log_.size(), 2u);
+  EXPECT_EQ(log_[1].outcome, LockOutcome::kGranted);
+  EXPECT_EQ(log_[1].at, 30);
+}
+
+TEST_F(LockManagerTest, RetainedOwnerBlocksAndReleases) {
+  const OwnerId retained = RetainedOwner(3);
+  sim_.Spawn(AcquireAfter(sim_, locks_, 0, retained, 7, LockMode::kShared,
+                          log_));
+  sim_.Spawn(AcquireAfter(sim_, locks_, 5, 1, 7, LockMode::kExclusive, log_));
+  sim_.ScheduleAt(40, [&] { locks_.Release(retained, 7); });
+  sim_.Run(100);
+  ASSERT_EQ(log_.size(), 2u);
+  EXPECT_EQ(log_[1].at, 40);
+  EXPECT_EQ(log_[1].outcome, LockOutcome::kGranted);
+}
+
+TEST_F(LockManagerTest, RetainedProxyEnablesDeadlockDetection) {
+  // Client 3's retained lock on page 7 maps to transaction 30, which waits
+  // for page 9 held exclusively by transaction 1. When transaction 1 asks
+  // for X(7), the cycle 1 -> retained(3) -> 30 -> 1 must be found.
+  locks_.set_retained_proxy([](OwnerId owner) {
+    return RetainedClient(owner) == 3 ? OwnerId{30} : OwnerId{0};
+  });
+  const OwnerId retained = RetainedOwner(3);
+  sim_.Spawn(AcquireAfter(sim_, locks_, 0, retained, 7, LockMode::kShared,
+                          log_));
+  sim_.Spawn(AcquireAfter(sim_, locks_, 0, 1, 9, LockMode::kExclusive, log_));
+  sim_.Spawn(AcquireAfter(sim_, locks_, 5, 30, 9, LockMode::kExclusive, log_));
+  sim_.Spawn(AcquireAfter(sim_, locks_, 10, 1, 7, LockMode::kExclusive, log_));
+  sim_.Run(100);
+  ASSERT_EQ(log_.size(), 3u);
+  EXPECT_EQ(log_[2].owner, 1u);
+  EXPECT_EQ(log_[2].outcome, LockOutcome::kDeadlock);
+}
+
+TEST_F(LockManagerTest, TransferLockMovesOwnership) {
+  sim_.Spawn(AcquireAfter(sim_, locks_, 0, 1, 7, LockMode::kShared, log_));
+  sim_.Run(10);
+  locks_.TransferLock(1, RetainedOwner(5), 7);
+  EXPECT_FALSE(locks_.Holds(1, 7, LockMode::kShared));
+  EXPECT_TRUE(locks_.Holds(RetainedOwner(5), 7, LockMode::kShared));
+}
+
+TEST_F(LockManagerTest, TransferMergesWithExistingHolder) {
+  sim_.Spawn(AcquireAfter(sim_, locks_, 0, 1, 7, LockMode::kExclusive, log_));
+  sim_.Run(10);
+  // Simulate lock absorption followed by re-retention under one owner.
+  locks_.TransferLock(1, 2, 7);
+  sim_.Spawn(AcquireAfter(sim_, locks_, 0, 2, 7, LockMode::kShared, log_));
+  sim_.Run(20);
+  EXPECT_TRUE(locks_.Holds(2, 7, LockMode::kExclusive));
+  EXPECT_EQ(locks_.HoldersOf(7).size(), 1u);
+}
+
+TEST_F(LockManagerTest, DowngradeWakesSharedWaiters) {
+  sim_.Spawn(AcquireAfter(sim_, locks_, 0, 1, 7, LockMode::kExclusive, log_));
+  sim_.Spawn(AcquireAfter(sim_, locks_, 5, 2, 7, LockMode::kShared, log_));
+  sim_.ScheduleAt(30, [&] { locks_.Downgrade(1, 7); });
+  sim_.Run(100);
+  ASSERT_EQ(log_.size(), 2u);
+  EXPECT_EQ(log_[1].outcome, LockOutcome::kGranted);
+  EXPECT_EQ(log_[1].at, 30);
+}
+
+TEST_F(LockManagerTest, ReleaseAllFreesEverything) {
+  sim_.Spawn(AcquireAfter(sim_, locks_, 0, 1, 1, LockMode::kShared, log_));
+  sim_.Spawn(AcquireAfter(sim_, locks_, 0, 1, 2, LockMode::kExclusive, log_));
+  sim_.Run(10);
+  EXPECT_EQ(locks_.held_count(), 2u);
+  locks_.ReleaseAll(1);
+  EXPECT_EQ(locks_.held_count(), 0u);
+  EXPECT_FALSE(locks_.Holds(1, 1, LockMode::kShared));
+}
+
+TEST_F(LockManagerTest, ConcurrentWaitsBySameOwnerBothServed) {
+  // No-wait locking: one transaction can have several requests queued.
+  sim_.Spawn(AcquireAfter(sim_, locks_, 0, 1, 1, LockMode::kExclusive, log_));
+  sim_.Spawn(AcquireAfter(sim_, locks_, 0, 2, 2, LockMode::kExclusive, log_));
+  sim_.Spawn(AcquireAfter(sim_, locks_, 5, 3, 1, LockMode::kShared, log_));
+  sim_.Spawn(AcquireAfter(sim_, locks_, 6, 3, 2, LockMode::kShared, log_));
+  sim_.Spawn(ReleaseAfter(sim_, locks_, 50, 1, 1));
+  sim_.Spawn(ReleaseAfter(sim_, locks_, 60, 2, 2));
+  sim_.Run(1000);
+  ASSERT_EQ(log_.size(), 4u);
+  EXPECT_EQ(log_[2].at, 50);
+  EXPECT_EQ(log_[3].at, 60);
+  EXPECT_TRUE(locks_.Holds(3, 1, LockMode::kShared));
+  EXPECT_TRUE(locks_.Holds(3, 2, LockMode::kShared));
+}
+
+TEST_F(LockManagerTest, CancelOwnerWithTwoRecordsOnOnePage) {
+  // Regression: a no-wait transaction can queue an S and an X request on
+  // the same page. Cancelling the owner must remove both; a leftover
+  // record would later be granted to a dead transaction and hold the lock
+  // forever.
+  sim_.Spawn(AcquireAfter(sim_, locks_, 0, 1, 7, LockMode::kExclusive, log_));
+  sim_.Spawn(AcquireAfter(sim_, locks_, 5, 2, 7, LockMode::kShared, log_));
+  sim_.Spawn(AcquireAfter(sim_, locks_, 6, 2, 7, LockMode::kExclusive, log_));
+  sim_.Run(20);
+  EXPECT_EQ(locks_.waiter_count(), 2u);
+  locks_.CancelOwner(2);
+  EXPECT_EQ(locks_.waiter_count(), 0u);
+  sim_.Run(40);
+  ASSERT_EQ(log_.size(), 3u);
+  EXPECT_EQ(log_[1].outcome, LockOutcome::kAborted);
+  EXPECT_EQ(log_[2].outcome, LockOutcome::kAborted);
+  // Owner 1 releases; nothing of owner 2 must remain.
+  locks_.ReleaseAll(1);
+  EXPECT_EQ(locks_.held_count(), 0u);
+  EXPECT_EQ(locks_.HoldersOf(7).size(), 0u);
+}
+
+TEST_F(LockManagerTest, QueuedRequestByHolderBecomesImplicitUpgrade) {
+  // Owner 2's X request queues while owner 1 holds X; owner 2's S request
+  // was already granted... construct: S granted, X queued by same owner,
+  // rival releases -> the X record must upgrade in place, not deadlock
+  // against the owner's own S.
+  sim_.Spawn(AcquireAfter(sim_, locks_, 0, 1, 7, LockMode::kShared, log_));
+  sim_.Spawn(AcquireAfter(sim_, locks_, 0, 2, 7, LockMode::kShared, log_));
+  sim_.Spawn(AcquireAfter(sim_, locks_, 5, 2, 7, LockMode::kExclusive, log_));
+  sim_.Spawn(ReleaseAllAfter(sim_, locks_, 50, 1));
+  sim_.Run(1000);
+  ASSERT_EQ(log_.size(), 3u);
+  EXPECT_EQ(log_[2].outcome, LockOutcome::kGranted);
+  EXPECT_EQ(log_[2].at, 50);
+  EXPECT_TRUE(locks_.Holds(2, 7, LockMode::kExclusive));
+  EXPECT_EQ(locks_.HoldersOf(7).size(), 1u);
+}
+
+}  // namespace
+}  // namespace ccsim::lock

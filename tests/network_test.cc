@@ -1,0 +1,162 @@
+// Unit tests for the network manager: packetization, per-packet CPU
+// charges at both endpoints, FCFS medium occupancy, ordering, and the
+// zero-delay (infinitely fast network) mode.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/message.h"
+#include "net/network.h"
+#include "sim/process.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+
+namespace ccsim::net {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest()
+      : net_(&sim_, sim::MillisToTicks(2), sim::Pcg32(1, 1)),
+        client_cpu_(&sim_, "client.cpu", 1),
+        server_cpu_(&sim_, "server.cpu", 1),
+        client_inbox_(&sim_), server_inbox_(&sim_) {
+    net_.RegisterEndpoint(0, Network::Endpoint{&client_inbox_, &client_cpu_,
+                                               sim::Ticks{5000}});
+    net_.RegisterEndpoint(kServerNode,
+                          Network::Endpoint{&server_inbox_, &server_cpu_,
+                                            sim::Ticks{2500}});
+  }
+
+  sim::Simulator sim_;
+  Network net_;
+  sim::Resource client_cpu_;
+  sim::Resource server_cpu_;
+  sim::Mailbox<Message> client_inbox_;
+  sim::Mailbox<Message> server_inbox_;
+};
+
+TEST_F(NetworkTest, ControlMessageIsOnePacket) {
+  Message msg;
+  msg.type = MsgType::kReadRequest;
+  msg.pages = {1, 2, 3};  // control info only
+  EXPECT_EQ(PacketsFor(msg), 1);
+}
+
+TEST_F(NetworkTest, DataPagesCostOnePacketEach) {
+  Message msg;
+  msg.type = MsgType::kReadReply;
+  msg.data_pages = {1, 2, 3};
+  EXPECT_EQ(PacketsFor(msg), 3);
+}
+
+sim::Process SendOne(sim::Simulator& sim, Network& net, Message msg,
+                     sim::Ticks& sent_at) {
+  (void)sim;
+  co_await net.Send(std::move(msg));
+  sent_at = sim.Now();
+}
+
+sim::Process ReceiveOne(sim::Simulator& sim, sim::Mailbox<Message>& inbox,
+                        std::vector<std::pair<std::uint64_t, sim::Ticks>>&
+                            arrivals, int count) {
+  (void)sim;
+  for (int i = 0; i < count; ++i) {
+    Message msg = co_await inbox.Receive();
+    arrivals.push_back({msg.xact, sim.Now()});
+  }
+}
+
+TEST_F(NetworkTest, SenderPaysCpuBeforeReturning) {
+  Message msg;
+  msg.type = MsgType::kReadRequest;
+  msg.src = 0;
+  msg.dst = kServerNode;
+  sim::Ticks sent_at = 0;
+  sim_.Spawn(SendOne(sim_, net_, std::move(msg), sent_at));
+  sim_.Run(sim::SecondsToTicks(1));
+  EXPECT_EQ(sent_at, 5000);  // one packet * 5000 ticks of client CPU
+}
+
+TEST_F(NetworkTest, DeliveryChargesReceiverCpuAndMedium) {
+  Message msg;
+  msg.type = MsgType::kReadRequest;
+  msg.src = 0;
+  msg.dst = kServerNode;
+  msg.xact = 42;
+  std::vector<std::pair<std::uint64_t, sim::Ticks>> arrivals;
+  sim_.Spawn(ReceiveOne(sim_, server_inbox_, arrivals, 1));
+  sim::Ticks sent_at = 0;
+  sim_.Spawn(SendOne(sim_, net_, std::move(msg), sent_at));
+  sim_.Run(sim::SecondsToTicks(1));
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_EQ(arrivals[0].first, 42u);
+  // send CPU (5000) + exponential network delay + receive CPU (2500).
+  EXPECT_GT(arrivals[0].second, 7500);
+  EXPECT_EQ(net_.messages_sent(), 1u);
+  EXPECT_EQ(net_.packets_sent(), 1u);
+}
+
+TEST_F(NetworkTest, PerPairFifoOrdering) {
+  std::vector<std::pair<std::uint64_t, sim::Ticks>> arrivals;
+  sim_.Spawn(ReceiveOne(sim_, server_inbox_, arrivals, 5));
+  std::vector<sim::Ticks> sent_at(5, 0);  // outlives the spawned senders
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    Message msg;
+    msg.type = MsgType::kNoWaitLock;
+    msg.src = 0;
+    msg.dst = kServerNode;
+    msg.xact = i;
+    sim_.Spawn(SendOne(sim_, net_, std::move(msg), sent_at[i - 1]));
+  }
+  sim_.Run(sim::SecondsToTicks(1));
+  ASSERT_EQ(arrivals.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(arrivals[i].first, i + 1);
+  }
+}
+
+TEST_F(NetworkTest, MultiPacketMessageOccupiesMediumPerPacket) {
+  Message msg;
+  msg.type = MsgType::kCommitRequest;
+  msg.src = 0;
+  msg.dst = kServerNode;
+  msg.data_pages = {1, 2, 3, 4};
+  std::vector<std::pair<std::uint64_t, sim::Ticks>> arrivals;
+  sim_.Spawn(ReceiveOne(sim_, server_inbox_, arrivals, 1));
+  sim::Ticks sent_at = 0;
+  sim_.Spawn(SendOne(sim_, net_, std::move(msg), sent_at));
+  sim_.Run(sim::SecondsToTicks(10));
+  EXPECT_EQ(sent_at, 4 * 5000);  // 4 packets of send CPU
+  EXPECT_EQ(net_.packets_sent(), 4u);
+  ASSERT_EQ(arrivals.size(), 1u);
+  // 4 exponential(2ms) transfers + 4 * 2500 receive CPU after send.
+  EXPECT_GT(arrivals[0].second, sent_at + 4 * 2500);
+}
+
+TEST_F(NetworkTest, ZeroDelayNetworkSkipsMedium) {
+  sim::Simulator sim;
+  Network net(&sim, /*mean_packet_delay=*/0, sim::Pcg32(1, 1));
+  sim::Resource cpu_a(&sim, "a", 1);
+  sim::Resource cpu_b(&sim, "b", 1);
+  sim::Mailbox<Message> inbox_a(&sim);
+  sim::Mailbox<Message> inbox_b(&sim);
+  net.RegisterEndpoint(0, Network::Endpoint{&inbox_a, &cpu_a, 0});
+  net.RegisterEndpoint(kServerNode, Network::Endpoint{&inbox_b, &cpu_b, 0});
+  Message msg;
+  msg.type = MsgType::kReadRequest;
+  msg.src = 0;
+  msg.dst = kServerNode;
+  std::vector<std::pair<std::uint64_t, sim::Ticks>> arrivals;
+  sim.Spawn(ReceiveOne(sim, inbox_b, arrivals, 1));
+  sim::Ticks sent_at = 0;
+  sim.Spawn(SendOne(sim, net, std::move(msg), sent_at));
+  sim.Run(100);
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_EQ(arrivals[0].second, 0);  // free messaging: same-instant delivery
+  EXPECT_EQ(net.medium().completions(), 0u);
+}
+
+}  // namespace
+}  // namespace ccsim::net

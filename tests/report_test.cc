@@ -1,0 +1,71 @@
+// Tests for the report table formatter and bench environment knobs.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "runner/report.h"
+
+namespace ccsim::runner {
+namespace {
+
+std::string PrintToString(const Table& table) {
+  char buffer[4096];
+  std::FILE* stream = fmemopen(buffer, sizeof(buffer), "w");
+  table.Print(stream);
+  std::fclose(stream);
+  return buffer;
+}
+
+TEST(TableTest, FormatsAlignedColumns) {
+  Table table("Title", {"a", "long_column", "c"});
+  table.AddRow({"1", "2", "3"});
+  table.AddRow({"44444444", "5", "6"});
+  const std::string out = PrintToString(table);
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("long_column"), std::string::npos);
+  EXPECT_NE(out.find("44444444"), std::string::npos);
+  // Header then separator then two rows.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, NumFormatsDigits) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(3.14159, 0), "3");
+  EXPECT_EQ(Table::Num(-1.5, 1), "-1.5");
+  EXPECT_EQ(Table::Int(42), "42");
+  EXPECT_EQ(Table::Int(0), "0");
+}
+
+TEST(BenchScaleTest, DefaultsWithoutEnv) {
+  unsetenv("CCSIM_SCALE");
+  unsetenv("CCSIM_SEED");
+  const BenchScale scale = ReadBenchScale();
+  EXPECT_DOUBLE_EQ(scale.scale, 1.0);
+  EXPECT_EQ(scale.seed, 1u);
+}
+
+TEST(BenchScaleTest, ReadsEnv) {
+  setenv("CCSIM_SCALE", "0.25", 1);
+  setenv("CCSIM_SEED", "77", 1);
+  const BenchScale scale = ReadBenchScale();
+  EXPECT_DOUBLE_EQ(scale.scale, 0.25);
+  EXPECT_EQ(scale.seed, 77u);
+  unsetenv("CCSIM_SCALE");
+  unsetenv("CCSIM_SEED");
+}
+
+TEST(BenchScaleTest, IgnoresGarbage) {
+  setenv("CCSIM_SCALE", "-3", 1);
+  setenv("CCSIM_SEED", "0", 1);
+  const BenchScale scale = ReadBenchScale();
+  EXPECT_DOUBLE_EQ(scale.scale, 1.0);
+  EXPECT_EQ(scale.seed, 1u);
+  unsetenv("CCSIM_SCALE");
+  unsetenv("CCSIM_SEED");
+}
+
+}  // namespace
+}  // namespace ccsim::runner

@@ -1,0 +1,352 @@
+// Unit tests for the discrete-event simulation kernel: clock/calendar
+// semantics, process scheduling, delays, events, mailboxes, and FCFS
+// resources.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/event.h"
+#include "sim/process.h"
+#include "sim/resource.h"
+#include "sim/task.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace ccsim::sim {
+namespace {
+
+Process Recorder(Simulator& sim, std::vector<Ticks>& log, Ticks delay,
+                 int repeats) {
+  for (int i = 0; i < repeats; ++i) {
+    co_await sim.Delay(delay);
+    log.push_back(sim.Now());
+  }
+}
+
+TEST(SimulatorTest, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0);
+}
+
+TEST(SimulatorTest, DelayAdvancesClock) {
+  Simulator sim;
+  std::vector<Ticks> log;
+  sim.Spawn(Recorder(sim, log, 10, 3));
+  sim.Run(1000);
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], 10);
+  EXPECT_EQ(log[1], 20);
+  EXPECT_EQ(log[2], 30);
+}
+
+TEST(SimulatorTest, RunStopsAtHorizon) {
+  Simulator sim;
+  std::vector<Ticks> log;
+  sim.Spawn(Recorder(sim, log, 10, 100));
+  sim.Run(35);
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(sim.Now(), 35);
+  sim.Run(1000);
+  EXPECT_EQ(log.size(), 100u);
+}
+
+TEST(SimulatorTest, EqualTimeEventsFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(5, [&] { order.push_back(1); });
+  sim.ScheduleAt(5, [&] { order.push_back(2); });
+  sim.ScheduleAt(3, [&] { order.push_back(0); });
+  sim.ScheduleAt(5, [&] { order.push_back(3); });
+  sim.Run(10);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(SimulatorTest, ZeroDelayIsACooperativeYield) {
+  Simulator sim;
+  std::vector<Ticks> log;
+  sim.Spawn(Recorder(sim, log, 0, 5));
+  sim.Run(100);
+  ASSERT_EQ(log.size(), 5u);
+  for (Ticks t : log) {
+    EXPECT_EQ(t, 0);
+  }
+}
+
+TEST(SimulatorTest, RequestStopHaltsLoop) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(i, [&] {
+      ++fired;
+      if (fired == 4) {
+        sim.RequestStop();
+      }
+    });
+  }
+  sim.Run(100);
+  EXPECT_EQ(fired, 4);
+}
+
+TEST(SimulatorTest, ShutdownDestroysSuspendedProcesses) {
+  Simulator sim;
+  std::vector<Ticks> log;
+  sim.Spawn(Recorder(sim, log, 10, 1000000));
+  sim.Run(100);
+  EXPECT_EQ(sim.live_process_count(), 1u);
+  sim.Shutdown();
+  EXPECT_EQ(sim.live_process_count(), 0u);
+}
+
+TEST(SimulatorTest, CompletedProcessUnregistersItself) {
+  Simulator sim;
+  std::vector<Ticks> log;
+  sim.Spawn(Recorder(sim, log, 10, 2));
+  sim.Run(1000);
+  EXPECT_EQ(sim.live_process_count(), 0u);
+}
+
+Process Waiter(Simulator& sim, Event& event, std::vector<Ticks>& wakeups) {
+  (void)sim;
+  co_await event.Wait();
+  wakeups.push_back(sim.Now());
+}
+
+TEST(EventTest, SignalWakesAllCurrentWaiters) {
+  Simulator sim;
+  Event event(&sim);
+  std::vector<Ticks> wakeups;
+  sim.Spawn(Waiter(sim, event, wakeups));
+  sim.Spawn(Waiter(sim, event, wakeups));
+  sim.ScheduleAt(50, [&] { event.Signal(); });
+  sim.Run(100);
+  ASSERT_EQ(wakeups.size(), 2u);
+  EXPECT_EQ(wakeups[0], 50);
+  EXPECT_EQ(wakeups[1], 50);
+}
+
+TEST(EventTest, LateWaiterWaitsForNextSignal) {
+  Simulator sim;
+  Event event(&sim);
+  std::vector<Ticks> wakeups;
+  sim.ScheduleAt(10, [&] { event.Signal(); });
+  sim.ScheduleAt(20, [&] { sim.Spawn(Waiter(sim, event, wakeups)); });
+  sim.Run(100);
+  EXPECT_TRUE(wakeups.empty());
+  event.Signal();
+  sim.Run(200);
+  ASSERT_EQ(wakeups.size(), 1u);
+}
+
+Process OneShotConsumer(Simulator& sim, OneShot<int>& slot, int& out) {
+  (void)sim;
+  out = co_await slot.Wait();
+}
+
+TEST(OneShotTest, WaitThenSet) {
+  Simulator sim;
+  OneShot<int> slot(&sim);
+  int out = 0;
+  sim.Spawn(OneShotConsumer(sim, slot, out));
+  sim.ScheduleAt(30, [&] { slot.Set(42); });
+  sim.Run(100);
+  EXPECT_EQ(out, 42);
+}
+
+TEST(OneShotTest, SetThenWaitCompletesImmediately) {
+  Simulator sim;
+  OneShot<int> slot(&sim);
+  slot.Set(7);
+  int out = 0;
+  sim.Spawn(OneShotConsumer(sim, slot, out));
+  sim.Run(100);
+  EXPECT_EQ(out, 7);
+}
+
+Process MailboxConsumer(Simulator& sim, Mailbox<std::string>& mailbox,
+                        std::vector<std::string>& received, int count) {
+  (void)sim;
+  for (int i = 0; i < count; ++i) {
+    std::string item = co_await mailbox.Receive();
+    received.push_back(item);
+  }
+}
+
+TEST(MailboxTest, FifoDelivery) {
+  Simulator sim;
+  Mailbox<std::string> mailbox(&sim);
+  std::vector<std::string> received;
+  sim.Spawn(MailboxConsumer(sim, mailbox, received, 3));
+  sim.ScheduleAt(10, [&] { mailbox.Push("a"); });
+  sim.ScheduleAt(20, [&] {
+    mailbox.Push("b");
+    mailbox.Push("c");
+  });
+  sim.Run(100);
+  EXPECT_EQ(received, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(MailboxTest, ReceiveDoesNotBlockWhenItemsQueued) {
+  Simulator sim;
+  Mailbox<std::string> mailbox(&sim);
+  mailbox.Push("x");
+  std::vector<std::string> received;
+  sim.Spawn(MailboxConsumer(sim, mailbox, received, 1));
+  sim.Run(0);
+  EXPECT_EQ(received, (std::vector<std::string>{"x"}));
+}
+
+Process UserOfResource(Simulator& sim, Resource& resource, Ticks start,
+                       Ticks service, std::vector<std::pair<int, Ticks>>& log,
+                       int id) {
+  co_await sim.Delay(start);
+  co_await resource.Use(service);
+  log.push_back({id, sim.Now()});
+}
+
+TEST(ResourceTest, SingleServerSerializesFcfs) {
+  Simulator sim;
+  Resource resource(&sim, "cpu", 1);
+  std::vector<std::pair<int, Ticks>> log;
+  // Three jobs arrive at t=0,1,2, each needing 10 ticks.
+  sim.Spawn(UserOfResource(sim, resource, 0, 10, log, 0));
+  sim.Spawn(UserOfResource(sim, resource, 1, 10, log, 1));
+  sim.Spawn(UserOfResource(sim, resource, 2, 10, log, 2));
+  sim.Run(1000);
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], (std::pair<int, Ticks>{0, 10}));
+  EXPECT_EQ(log[1], (std::pair<int, Ticks>{1, 20}));
+  EXPECT_EQ(log[2], (std::pair<int, Ticks>{2, 30}));
+}
+
+TEST(ResourceTest, TwoServersRunInParallel) {
+  Simulator sim;
+  Resource resource(&sim, "cpu", 2);
+  std::vector<std::pair<int, Ticks>> log;
+  sim.Spawn(UserOfResource(sim, resource, 0, 10, log, 0));
+  sim.Spawn(UserOfResource(sim, resource, 0, 10, log, 1));
+  sim.Spawn(UserOfResource(sim, resource, 0, 10, log, 2));
+  sim.Run(1000);
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].second, 10);
+  EXPECT_EQ(log[1].second, 10);
+  EXPECT_EQ(log[2].second, 20);
+}
+
+TEST(ResourceTest, UtilizationAccounting) {
+  Simulator sim;
+  Resource resource(&sim, "disk", 1);
+  std::vector<std::pair<int, Ticks>> log;
+  // One job occupying 40 of the first 100 ticks.
+  sim.Spawn(UserOfResource(sim, resource, 0, 40, log, 0));
+  sim.Run(100);
+  EXPECT_NEAR(resource.Utilization(100), 0.4, 1e-9);
+  EXPECT_EQ(resource.completions(), 1u);
+}
+
+TEST(ResourceTest, WaitTimeTally) {
+  Simulator sim;
+  Resource resource(&sim, "disk", 1);
+  std::vector<std::pair<int, Ticks>> log;
+  sim.Spawn(UserOfResource(sim, resource, 0, 100, log, 0));
+  sim.Spawn(UserOfResource(sim, resource, 0, 100, log, 1));
+  sim.Run(10000);
+  // First waits 0, second waits 100 ticks.
+  EXPECT_EQ(resource.wait_times().count(), 2u);
+  EXPECT_NEAR(resource.wait_times().max(), 100e-6, 1e-12);
+}
+
+Process AcquireHolder(Simulator& sim, Resource& resource, Ticks hold,
+                      std::vector<Ticks>& log) {
+  co_await resource.Acquire();
+  co_await sim.Delay(hold);  // hold the server across an unrelated await
+  resource.Release();
+  log.push_back(sim.Now());
+}
+
+TEST(ResourceTest, AcquireHoldsAcrossAwaits) {
+  Simulator sim;
+  Resource resource(&sim, "net", 1);
+  std::vector<Ticks> log;
+  sim.Spawn(AcquireHolder(sim, resource, 50, log));
+  sim.Spawn(AcquireHolder(sim, resource, 50, log));
+  sim.Run(1000);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], 50);
+  EXPECT_EQ(log[1], 100);
+}
+
+Task<int> InnerCompute(Simulator& sim, Resource& resource) {
+  co_await resource.Use(10);
+  co_await sim.Delay(5);
+  co_return 21;
+}
+
+Task<int> MiddleCompute(Simulator& sim, Resource& resource) {
+  const int a = co_await InnerCompute(sim, resource);
+  const int b = co_await InnerCompute(sim, resource);
+  co_return a + b;
+}
+
+Process TaskDriver(Simulator& sim, Resource& resource, int& out,
+                   Ticks& done_at) {
+  out = co_await MiddleCompute(sim, resource);
+  done_at = sim.Now();
+}
+
+TEST(TaskTest, NestedTasksComposeAndReturnValues) {
+  Simulator sim;
+  Resource resource(&sim, "cpu", 1);
+  int out = 0;
+  Ticks done_at = 0;
+  sim.Spawn(TaskDriver(sim, resource, out, done_at));
+  sim.Run(1000);
+  EXPECT_EQ(out, 42);
+  EXPECT_EQ(done_at, 30);  // two sequential (10 use + 5 delay) legs
+  EXPECT_EQ(sim.live_process_count(), 0u);
+}
+
+Task<void> VoidLeg(Simulator& sim, int& counter) {
+  co_await sim.Delay(1);
+  ++counter;
+}
+
+Process VoidDriver(Simulator& sim, int& counter) {
+  co_await VoidLeg(sim, counter);
+  co_await VoidLeg(sim, counter);
+}
+
+TEST(TaskTest, VoidTasksRun) {
+  Simulator sim;
+  int counter = 0;
+  sim.Spawn(VoidDriver(sim, counter));
+  sim.Run(1000);
+  EXPECT_EQ(counter, 2);
+}
+
+TEST(TaskTest, ShutdownReclaimsSuspendedTaskChain) {
+  Simulator sim;
+  Resource resource(&sim, "cpu", 1);
+  int out = 0;
+  Ticks done_at = 0;
+  sim.Spawn(TaskDriver(sim, resource, out, done_at));
+  sim.Run(12);  // suspended inside the second InnerCompute
+  EXPECT_EQ(out, 0);
+  sim.Shutdown();  // must not leak or crash (ASAN-checked in CI builds)
+  EXPECT_EQ(sim.live_process_count(), 0u);
+}
+
+TEST(TimeConversionTest, RoundTrips) {
+  EXPECT_EQ(SecondsToTicks(1.0), 1000000);
+  EXPECT_EQ(MillisToTicks(2.0), 2000);
+  EXPECT_DOUBLE_EQ(TicksToSeconds(500000), 0.5);
+  // 15,000 instructions at 1 MIPS = 15 ms.
+  EXPECT_EQ(CpuDemand(15000, 1.0), 15000);
+  // 5,000 instructions at 2 MIPS = 2.5 ms.
+  EXPECT_EQ(CpuDemand(5000, 2.0), 2500);
+  EXPECT_EQ(CpuDemand(0, 2.0), 0);
+}
+
+}  // namespace
+}  // namespace ccsim::sim

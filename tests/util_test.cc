@@ -1,0 +1,138 @@
+// Tests for Status/Result and the LRU table.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/lru.h"
+#include "util/status.h"
+
+namespace ccsim {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad knob");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad knob");
+}
+
+Status FailsWhen(bool fail) {
+  if (fail) {
+    return Status::Internal("inner");
+  }
+  return Status::OK();
+}
+
+Status Propagates(bool fail) {
+  CCSIM_RETURN_NOT_OK(FailsWhen(fail));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(Propagates(false).ok());
+  EXPECT_EQ(Propagates(true).code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(LruTableTest, InsertFindTouch) {
+  LruTable<int, std::string> lru;
+  lru.Insert(1, "one");
+  lru.Insert(2, "two");
+  ASSERT_NE(lru.Find(1), nullptr);
+  EXPECT_EQ(*lru.Find(1), "one");
+  EXPECT_EQ(lru.Find(3), nullptr);
+  EXPECT_EQ(lru.size(), 2u);
+}
+
+TEST(LruTableTest, VictimIsLeastRecentlyUsed) {
+  LruTable<int, int> lru;
+  lru.Insert(1, 0);
+  lru.Insert(2, 0);
+  lru.Insert(3, 0);
+  // Order (MRU..LRU): 3 2 1. Touch 1 -> 1 3 2.
+  lru.Touch(1);
+  const auto* victim = lru.VictimCandidate();
+  ASSERT_NE(victim, nullptr);
+  EXPECT_EQ(victim->key, 2);
+}
+
+TEST(LruTableTest, PinnedEntriesAreNotVictims) {
+  LruTable<int, int> lru;
+  lru.Insert(1, 0);
+  lru.Insert(2, 0);
+  lru.Pin(1);
+  const auto* victim = lru.VictimCandidate();
+  ASSERT_NE(victim, nullptr);
+  EXPECT_EQ(victim->key, 2);
+}
+
+TEST(LruTableTest, AllPinnedMeansNoVictim) {
+  LruTable<int, int> lru;
+  lru.Insert(1, 0);
+  lru.Pin(1);
+  EXPECT_EQ(lru.VictimCandidate(), nullptr);
+  lru.Unpin(1);
+  EXPECT_NE(lru.VictimCandidate(), nullptr);
+}
+
+TEST(LruTableTest, UnpinAllClearsPins) {
+  LruTable<int, int> lru;
+  lru.Insert(1, 0);
+  lru.Insert(2, 0);
+  lru.Pin(1);
+  lru.Pin(2);
+  EXPECT_EQ(lru.VictimCandidate(), nullptr);
+  lru.UnpinAll();
+  EXPECT_NE(lru.VictimCandidate(), nullptr);
+  EXPECT_FALSE(lru.IsPinned(1));
+}
+
+TEST(LruTableTest, EraseRemoves) {
+  LruTable<int, int> lru;
+  lru.Insert(1, 10);
+  EXPECT_TRUE(lru.Erase(1));
+  EXPECT_FALSE(lru.Erase(1));
+  EXPECT_EQ(lru.Find(1), nullptr);
+  EXPECT_TRUE(lru.empty());
+}
+
+TEST(LruTableTest, ForEachVisitsMruToLru) {
+  LruTable<int, int> lru;
+  lru.Insert(1, 0);
+  lru.Insert(2, 0);
+  lru.Insert(3, 0);
+  std::vector<int> keys;
+  lru.ForEach([&](const auto& e) { keys.push_back(e.key); });
+  EXPECT_EQ(keys, (std::vector<int>{3, 2, 1}));
+}
+
+TEST(LruTableTest, ClearEmpties) {
+  LruTable<int, int> lru;
+  lru.Insert(1, 0);
+  lru.Insert(2, 0);
+  lru.Clear();
+  EXPECT_TRUE(lru.empty());
+  EXPECT_FALSE(lru.Contains(1));
+}
+
+}  // namespace
+}  // namespace ccsim

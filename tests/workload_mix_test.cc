@@ -1,0 +1,136 @@
+// Tests for multi-type workload mixes (paper §3.2: "a simulation run can
+// simulate transactions belonging to the same type, or a mix of
+// transactions belonging to different types").
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "config/params.h"
+#include "db/database.h"
+#include "runner/experiment.h"
+#include "sim/random.h"
+#include "workload/workload.h"
+
+namespace ccsim {
+namespace {
+
+config::TransactionParams ShortType() {
+  config::TransactionParams params;
+  params.min_xact_size = 4;
+  params.max_xact_size = 8;
+  params.prob_write = 0.0;
+  return params;
+}
+
+config::TransactionParams LongType() {
+  config::TransactionParams params;
+  params.min_xact_size = 20;
+  params.max_xact_size = 24;
+  params.prob_write = 0.5;
+  return params;
+}
+
+class WorkloadMixTest : public ::testing::Test {
+ protected:
+  WorkloadMixTest() {
+    config::DatabaseParams db_params;
+    db_params.num_classes = 40;
+    db_params.pages_per_class = {50};
+    layout_ = std::make_unique<db::DatabaseLayout>(db_params, 2);
+  }
+  std::unique_ptr<db::DatabaseLayout> layout_;
+};
+
+TEST_F(WorkloadMixTest, TypesDrawnByWeight) {
+  std::vector<config::MixEntry> mix = {{ShortType(), 3.0}, {LongType(), 1.0}};
+  workload::WorkloadGenerator gen(mix, layout_.get(), sim::Pcg32(1, 1),
+                                  sim::Pcg32(1, 2));
+  int short_count = 0;
+  int long_count = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const workload::TransactionSpec spec = gen.NextTransaction();
+    if (gen.current_type() == 0) {
+      ++short_count;
+      EXPECT_LE(spec.num_reads(), 8);
+      EXPECT_TRUE(spec.read_only());
+    } else {
+      ++long_count;
+      EXPECT_GE(spec.num_reads(), 20);
+    }
+  }
+  // 3:1 weights.
+  EXPECT_NEAR(static_cast<double>(short_count) / 4000.0, 0.75, 0.03);
+  EXPECT_NEAR(static_cast<double>(long_count) / 4000.0, 0.25, 0.03);
+}
+
+TEST_F(WorkloadMixTest, SingleTypeMixMatchesSingleTypeGenerator) {
+  // A one-entry mix must produce the identical stream as the plain
+  // constructor (the type draw consumes no randomness).
+  workload::WorkloadGenerator plain(ShortType(), layout_.get(),
+                                    sim::Pcg32(9, 1), sim::Pcg32(9, 2));
+  workload::WorkloadGenerator mixed(
+      std::vector<config::MixEntry>{{ShortType(), 5.0}}, layout_.get(),
+      sim::Pcg32(9, 1), sim::Pcg32(9, 2));
+  for (int i = 0; i < 50; ++i) {
+    const workload::TransactionSpec a = plain.NextTransaction();
+    const workload::TransactionSpec b = mixed.NextTransaction();
+    ASSERT_EQ(a.steps.size(), b.steps.size());
+    for (std::size_t s = 0; s < a.steps.size(); ++s) {
+      EXPECT_EQ(a.steps[s].read_pages, b.steps[s].read_pages);
+    }
+  }
+}
+
+TEST_F(WorkloadMixTest, DelaysFollowCurrentType) {
+  config::TransactionParams interactive = ShortType();
+  interactive.update_delay_s = 5.0;
+  config::TransactionParams batch = ShortType();
+  batch.update_delay_s = 0.0;
+  std::vector<config::MixEntry> mix = {{interactive, 1.0}, {batch, 1.0}};
+  workload::WorkloadGenerator gen(mix, layout_.get(), sim::Pcg32(2, 1),
+                                  sim::Pcg32(2, 2));
+  for (int i = 0; i < 200; ++i) {
+    gen.NextTransaction();
+    if (gen.current_type() == 1) {
+      EXPECT_EQ(gen.SampleUpdateDelay(), 0);
+    }
+  }
+}
+
+TEST_F(WorkloadMixTest, MixValidation) {
+  config::ExperimentConfig cfg = config::BaseConfig();
+  cfg.mix = {{ShortType(), 1.0}, {LongType(), 0.0}};  // zero weight
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg.mix[1].weight = 2.0;
+  EXPECT_TRUE(cfg.Validate().ok());
+  cfg.mix[1].params.prob_write = 2.0;  // bad type parameter
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST_F(WorkloadMixTest, MixWorkingSetBoundsCache) {
+  config::ExperimentConfig cfg = config::BaseConfig();
+  config::TransactionParams huge = LongType();
+  huge.max_xact_size = 150;  // > 100-page client cache
+  cfg.mix = {{ShortType(), 1.0}, {huge, 1.0}};
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST_F(WorkloadMixTest, EndToEndMixedRunCommitsBothTypes) {
+  config::ExperimentConfig cfg = config::BaseConfig();
+  cfg.system.num_clients = 6;
+  cfg.mix = {{ShortType(), 2.0}, {LongType(), 1.0}};
+  cfg.algorithm.algorithm = config::Algorithm::kTwoPhaseLocking;
+  cfg.control.seed = 5;
+  cfg.control.warmup_seconds = 5;
+  cfg.control.target_commits = 300;
+  cfg.control.max_measure_seconds = 300;
+  const runner::RunResult r =
+      runner::RunExperiment(cfg).ValueOrDie();
+  EXPECT_FALSE(r.stalled);
+  EXPECT_GE(r.commits, 300u);
+  EXPECT_GT(r.aborts + 1, 0u);  // long writers conflict occasionally
+}
+
+}  // namespace
+}  // namespace ccsim

@@ -1,0 +1,204 @@
+// Unit tests for the transaction/workload model: sizes, write sets,
+// InterXactSet locality, and think-time sampling.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "config/params.h"
+#include "db/database.h"
+#include "sim/random.h"
+#include "sim/stats.h"
+#include "workload/workload.h"
+
+namespace ccsim::workload {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() {
+    db_params_.num_classes = 40;
+    db_params_.pages_per_class = {50};
+    db_params_.object_size = {1};
+    layout_ = std::make_unique<db::DatabaseLayout>(db_params_, 2);
+  }
+
+  WorkloadGenerator MakeGenerator(const config::TransactionParams& params,
+                                  std::uint64_t seed = 1) {
+    return WorkloadGenerator(params, layout_.get(), sim::Pcg32(seed, 1),
+                             sim::Pcg32(seed, 2));
+  }
+
+  config::DatabaseParams db_params_;
+  std::unique_ptr<db::DatabaseLayout> layout_;
+};
+
+TEST_F(WorkloadTest, SizesWithinBounds) {
+  config::TransactionParams params;
+  params.min_xact_size = 4;
+  params.max_xact_size = 12;
+  WorkloadGenerator gen = MakeGenerator(params);
+  sim::Tally sizes;
+  for (int i = 0; i < 2000; ++i) {
+    const TransactionSpec spec = gen.NextTransaction();
+    ASSERT_GE(spec.num_reads(), 4);
+    ASSERT_LE(spec.num_reads(), 12);
+    sizes.Add(spec.num_reads());
+  }
+  EXPECT_NEAR(sizes.mean(), 8.0, 0.3);  // uniform(4,12) mean
+}
+
+TEST_F(WorkloadTest, WriteSetSubsetOfReadSet) {
+  config::TransactionParams params;
+  params.prob_write = 0.5;
+  WorkloadGenerator gen = MakeGenerator(params);
+  for (int i = 0; i < 500; ++i) {
+    const TransactionSpec spec = gen.NextTransaction();
+    for (const Step& step : spec.steps) {
+      for (db::PageId page : step.write_pages) {
+        EXPECT_NE(std::find(step.read_pages.begin(), step.read_pages.end(),
+                            page),
+                  step.read_pages.end());
+      }
+    }
+  }
+}
+
+TEST_F(WorkloadTest, ProbWriteZeroMeansReadOnly) {
+  config::TransactionParams params;
+  params.prob_write = 0.0;
+  WorkloadGenerator gen = MakeGenerator(params);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(gen.NextTransaction().read_only());
+  }
+}
+
+TEST_F(WorkloadTest, ProbWriteMatchesPageFraction) {
+  config::TransactionParams params;
+  params.prob_write = 0.25;
+  WorkloadGenerator gen = MakeGenerator(params);
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  for (int i = 0; i < 3000; ++i) {
+    for (const Step& step : gen.NextTransaction().steps) {
+      reads += step.read_pages.size();
+      writes += step.write_pages.size();
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / static_cast<double>(reads), 0.25,
+              0.01);
+}
+
+TEST_F(WorkloadTest, InterXactSetBoundedAndRecent) {
+  config::TransactionParams params;
+  params.inter_xact_set_size = 20;
+  params.inter_xact_loc = 0.5;
+  WorkloadGenerator gen = MakeGenerator(params);
+  for (int i = 0; i < 100; ++i) {
+    gen.NextTransaction();
+    EXPECT_LE(gen.inter_xact_set().size(), 20u);
+  }
+  EXPECT_EQ(gen.inter_xact_set().size(), 20u);
+}
+
+TEST_F(WorkloadTest, HighLocalityReusesObjects) {
+  config::TransactionParams params;
+  params.inter_xact_set_size = 20;
+  params.inter_xact_loc = 0.75;
+  WorkloadGenerator gen = MakeGenerator(params);
+  // Warm the locality set.
+  for (int i = 0; i < 20; ++i) {
+    gen.NextTransaction();
+  }
+  std::set<db::PageId> pages;
+  std::uint64_t reads = 0;
+  for (int i = 0; i < 300; ++i) {
+    for (const Step& step : gen.NextTransaction().steps) {
+      pages.insert(step.read_pages.begin(), step.read_pages.end());
+      ++reads;
+    }
+  }
+  // With locality 0.75, most reads hit a small recurring set: distinct
+  // pages touched is far below the number of reads.
+  EXPECT_LT(pages.size(), reads / 3);
+}
+
+TEST_F(WorkloadTest, ZeroLocalitySpreadsAccesses) {
+  config::TransactionParams params;
+  params.inter_xact_set_size = 20;
+  params.inter_xact_loc = 0.0;
+  WorkloadGenerator gen = MakeGenerator(params);
+  std::set<db::PageId> pages;
+  int reads = 0;
+  for (int i = 0; i < 300; ++i) {
+    for (const Step& step : gen.NextTransaction().steps) {
+      pages.insert(step.read_pages.begin(), step.read_pages.end());
+      ++reads;
+    }
+  }
+  // ~2400 uniform draws over 2000 pages: most are distinct.
+  EXPECT_GT(static_cast<int>(pages.size()), reads / 2);
+}
+
+TEST_F(WorkloadTest, DelaySamplingMatchesMeans) {
+  config::TransactionParams params;
+  params.update_delay_s = 5.0;
+  params.internal_delay_s = 2.0;
+  params.external_delay_s = 1.0;
+  WorkloadGenerator gen = MakeGenerator(params);
+  sim::Tally update;
+  sim::Tally internal;
+  sim::Tally external;
+  for (int i = 0; i < 20000; ++i) {
+    update.Add(sim::TicksToSeconds(gen.SampleUpdateDelay()));
+    internal.Add(sim::TicksToSeconds(gen.SampleInternalDelay()));
+    external.Add(sim::TicksToSeconds(gen.SampleExternalDelay()));
+  }
+  EXPECT_NEAR(update.mean(), 5.0, 0.2);
+  EXPECT_NEAR(internal.mean(), 2.0, 0.1);
+  EXPECT_NEAR(external.mean(), 1.0, 0.05);
+}
+
+TEST_F(WorkloadTest, ZeroDelaysForBatch) {
+  config::TransactionParams params;
+  params.update_delay_s = 0;
+  params.internal_delay_s = 0;
+  WorkloadGenerator gen = MakeGenerator(params);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(gen.SampleUpdateDelay(), 0);
+    EXPECT_EQ(gen.SampleInternalDelay(), 0);
+  }
+}
+
+TEST_F(WorkloadTest, DeterministicForSeed) {
+  config::TransactionParams params;
+  WorkloadGenerator a = MakeGenerator(params, 42);
+  WorkloadGenerator b = MakeGenerator(params, 42);
+  for (int i = 0; i < 50; ++i) {
+    const TransactionSpec sa = a.NextTransaction();
+    const TransactionSpec sb = b.NextTransaction();
+    ASSERT_EQ(sa.steps.size(), sb.steps.size());
+    for (std::size_t s = 0; s < sa.steps.size(); ++s) {
+      EXPECT_EQ(sa.steps[s].read_pages, sb.steps[s].read_pages);
+      EXPECT_EQ(sa.steps[s].write_pages, sb.steps[s].write_pages);
+    }
+  }
+}
+
+TEST_F(WorkloadTest, MultiPageObjects) {
+  config::DatabaseParams db_params;
+  db_params.num_classes = 2;
+  db_params.pages_per_class = {50};
+  db_params.object_size = {4};
+  db::DatabaseLayout layout(db_params, 2);
+  config::TransactionParams params;
+  WorkloadGenerator gen(params, &layout, sim::Pcg32(1, 1), sim::Pcg32(1, 2));
+  const TransactionSpec spec = gen.NextTransaction();
+  for (const Step& step : spec.steps) {
+    EXPECT_EQ(step.read_pages.size(), 4u);
+  }
+}
+
+}  // namespace
+}  // namespace ccsim::workload

@@ -1,0 +1,237 @@
+// ccsim_run — command-line driver for one-off simulation experiments.
+//
+//   $ ccsim_run --algorithm=callback --clients=30 --locality=0.6
+//               --prob-write=0.1 --server-mips=2 --seed=3
+//   $ ccsim_run --algorithm=2pl-intra --net-delay-ms=0 --csv
+//   $ ccsim_run --list
+//
+// Every knob of the paper's Tables 1–3 is exposed; unset flags keep the
+// Table 5 base values. `--csv` prints one machine-readable line (with a
+// header) for scripting sweeps.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "config/params.h"
+#include "runner/experiment.h"
+
+namespace {
+
+using ccsim::config::Algorithm;
+using ccsim::config::CachingMode;
+using ccsim::config::ExperimentConfig;
+using ccsim::runner::RunResult;
+
+struct AlgorithmChoice {
+  const char* name;
+  Algorithm algorithm;
+  CachingMode caching;
+};
+
+const AlgorithmChoice kAlgorithms[] = {
+    {"2pl", Algorithm::kTwoPhaseLocking, CachingMode::kInterTransaction},
+    {"2pl-intra", Algorithm::kTwoPhaseLocking,
+     CachingMode::kIntraTransaction},
+    {"cert", Algorithm::kCertification, CachingMode::kInterTransaction},
+    {"cert-intra", Algorithm::kCertification,
+     CachingMode::kIntraTransaction},
+    {"callback", Algorithm::kCallbackLocking,
+     CachingMode::kInterTransaction},
+    {"no-wait", Algorithm::kNoWaitLocking, CachingMode::kInterTransaction},
+    {"no-wait-notify", Algorithm::kNoWaitNotify,
+     CachingMode::kInterTransaction},
+};
+
+void PrintUsage() {
+  std::printf(
+      "ccsim_run — run one client/server cache-consistency simulation\n\n"
+      "  --algorithm=NAME        2pl | 2pl-intra | cert | cert-intra |\n"
+      "                          callback | no-wait | no-wait-notify\n"
+      "  --clients=N             number of client workstations\n"
+      "  --locality=P            InterXactLoc in [0,1]\n"
+      "  --prob-write=P          ProbWrite in [0,1]\n"
+      "  --xact-size=MIN:MAX     ReadObject operations per transaction\n"
+      "  --object-size=N         atoms per object\n"
+      "  --cluster-factor=P      sequential-placement probability\n"
+      "  --update-delay=S --internal-delay=S --external-delay=S\n"
+      "  --server-mips=M --client-mips=M\n"
+      "  --net-delay-ms=D --msg-cost=INSTR\n"
+      "  --data-disks=N --log-disks=N\n"
+      "  --cache-pages=N --buffer-pages=N --mpl=N\n"
+      "  --seed=N --warmup=S --commits=N --max-seconds=S\n"
+      "  --csv                   one-line machine-readable output\n"
+      "  --list                  list algorithm names and exit\n"
+      "  --help                  this text\n");
+}
+
+bool ParseValue(const char* arg, const char* name, std::string* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') {
+    return false;
+  }
+  *out = arg + len + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ExperimentConfig cfg = ccsim::config::BaseConfig();
+  cfg.system.num_clients = 10;
+  cfg.control.warmup_seconds = 30;
+  cfg.control.target_commits = 3000;
+  cfg.control.max_measure_seconds = 600;
+  bool csv = false;
+  std::string algorithm_name = "2pl";
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    std::string value;
+    if (std::strcmp(arg, "--help") == 0) {
+      PrintUsage();
+      return 0;
+    }
+    if (std::strcmp(arg, "--list") == 0) {
+      for (const AlgorithmChoice& choice : kAlgorithms) {
+        std::printf("%s\n", choice.name);
+      }
+      return 0;
+    }
+    if (std::strcmp(arg, "--csv") == 0) {
+      csv = true;
+    } else if (ParseValue(arg, "--algorithm", &value)) {
+      algorithm_name = value;
+    } else if (ParseValue(arg, "--clients", &value)) {
+      cfg.system.num_clients = std::atoi(value.c_str());
+    } else if (ParseValue(arg, "--locality", &value)) {
+      cfg.transaction.inter_xact_loc = std::atof(value.c_str());
+    } else if (ParseValue(arg, "--prob-write", &value)) {
+      cfg.transaction.prob_write = std::atof(value.c_str());
+    } else if (ParseValue(arg, "--xact-size", &value)) {
+      const std::size_t colon = value.find(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "--xact-size wants MIN:MAX\n");
+        return 2;
+      }
+      cfg.transaction.min_xact_size = std::atoi(value.substr(0, colon).c_str());
+      cfg.transaction.max_xact_size =
+          std::atoi(value.substr(colon + 1).c_str());
+    } else if (ParseValue(arg, "--object-size", &value)) {
+      cfg.database.object_size = {std::atoi(value.c_str())};
+    } else if (ParseValue(arg, "--cluster-factor", &value)) {
+      cfg.database.cluster_factor = std::atof(value.c_str());
+    } else if (ParseValue(arg, "--update-delay", &value)) {
+      cfg.transaction.update_delay_s = std::atof(value.c_str());
+    } else if (ParseValue(arg, "--internal-delay", &value)) {
+      cfg.transaction.internal_delay_s = std::atof(value.c_str());
+    } else if (ParseValue(arg, "--external-delay", &value)) {
+      cfg.transaction.external_delay_s = std::atof(value.c_str());
+    } else if (ParseValue(arg, "--server-mips", &value)) {
+      cfg.system.server_mips = std::atof(value.c_str());
+    } else if (ParseValue(arg, "--client-mips", &value)) {
+      cfg.system.client_mips = std::atof(value.c_str());
+    } else if (ParseValue(arg, "--net-delay-ms", &value)) {
+      cfg.system.net_delay_ms = std::atof(value.c_str());
+    } else if (ParseValue(arg, "--msg-cost", &value)) {
+      cfg.system.msg_cost_instr = std::atof(value.c_str());
+    } else if (ParseValue(arg, "--data-disks", &value)) {
+      cfg.system.num_data_disks = std::atoi(value.c_str());
+    } else if (ParseValue(arg, "--log-disks", &value)) {
+      cfg.system.num_log_disks = std::atoi(value.c_str());
+    } else if (ParseValue(arg, "--cache-pages", &value)) {
+      cfg.system.client_cache_pages = std::atoi(value.c_str());
+    } else if (ParseValue(arg, "--buffer-pages", &value)) {
+      cfg.system.server_buffer_pages = std::atoi(value.c_str());
+    } else if (ParseValue(arg, "--mpl", &value)) {
+      cfg.system.mpl = std::atoi(value.c_str());
+    } else if (ParseValue(arg, "--seed", &value)) {
+      cfg.control.seed = static_cast<std::uint64_t>(
+          std::strtoull(value.c_str(), nullptr, 10));
+    } else if (ParseValue(arg, "--warmup", &value)) {
+      cfg.control.warmup_seconds = std::atof(value.c_str());
+    } else if (ParseValue(arg, "--commits", &value)) {
+      cfg.control.target_commits = static_cast<std::uint64_t>(
+          std::strtoull(value.c_str(), nullptr, 10));
+    } else if (ParseValue(arg, "--max-seconds", &value)) {
+      cfg.control.max_measure_seconds = std::atof(value.c_str());
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg);
+      return 2;
+    }
+  }
+
+  bool found = false;
+  for (const AlgorithmChoice& choice : kAlgorithms) {
+    if (algorithm_name == choice.name) {
+      cfg.algorithm.algorithm = choice.algorithm;
+      cfg.algorithm.caching = choice.caching;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "unknown algorithm '%s' (see --list)\n",
+                 algorithm_name.c_str());
+    return 2;
+  }
+
+  const ccsim::Result<RunResult> result = ccsim::runner::RunExperiment(cfg);
+  if (!result.ok()) {
+    std::fprintf(stderr, "invalid configuration: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const RunResult& r = result.ValueOrDie();
+
+  if (csv) {
+    std::printf(
+        "algorithm,clients,locality,prob_write,resp_s,resp_ci_s,tput,"
+        "commits,aborts,deadlocks,stale,cert,srv_cpu,net,disk,client_cpu,"
+        "cache_hit,buffer_hit,messages,packets,stalled\n");
+    std::printf(
+        "%s,%d,%.3f,%.3f,%.6f,%.6f,%.4f,%llu,%llu,%llu,%llu,%llu,%.4f,"
+        "%.4f,%.4f,%.4f,%.4f,%.4f,%llu,%llu,%d\n",
+        algorithm_name.c_str(), cfg.system.num_clients,
+        cfg.transaction.inter_xact_loc, cfg.transaction.prob_write,
+        r.mean_response_s, r.response_ci_s, r.throughput_tps,
+        static_cast<unsigned long long>(r.commits),
+        static_cast<unsigned long long>(r.aborts),
+        static_cast<unsigned long long>(r.deadlock_aborts),
+        static_cast<unsigned long long>(r.stale_aborts),
+        static_cast<unsigned long long>(r.cert_aborts), r.server_cpu_util,
+        r.network_util, r.data_disk_util, r.client_cpu_util,
+        r.client_hit_ratio, r.server_buffer_hit_ratio,
+        static_cast<unsigned long long>(r.messages),
+        static_cast<unsigned long long>(r.packets),
+        static_cast<int>(r.stalled));
+    return 0;
+  }
+
+  std::printf("algorithm          : %s\n", algorithm_name.c_str());
+  std::printf("clients            : %d\n", cfg.system.num_clients);
+  std::printf("measured           : %.1f sim-seconds%s\n",
+              r.measured_seconds, r.stalled ? "  [STALLED]" : "");
+  std::printf("mean response      : %.3f s (+/- %.3f)\n", r.mean_response_s,
+              r.response_ci_s);
+  std::printf("throughput         : %.2f commits/s\n", r.throughput_tps);
+  std::printf("commits / aborts   : %llu / %llu (deadlock %llu, stale "
+              "%llu, cert %llu)\n",
+              static_cast<unsigned long long>(r.commits),
+              static_cast<unsigned long long>(r.aborts),
+              static_cast<unsigned long long>(r.deadlock_aborts),
+              static_cast<unsigned long long>(r.stale_aborts),
+              static_cast<unsigned long long>(r.cert_aborts));
+  std::printf("utilization        : server %.2f, net %.2f, disks %.2f, "
+              "clients %.2f\n",
+              r.server_cpu_util, r.network_util, r.data_disk_util,
+              r.client_cpu_util);
+  std::printf("hit ratios         : client cache %.2f, server buffer %.2f\n",
+              r.client_hit_ratio, r.server_buffer_hit_ratio);
+  std::printf("messages (packets) : %llu (%llu)\n",
+              static_cast<unsigned long long>(r.messages),
+              static_cast<unsigned long long>(r.packets));
+  return r.stalled ? 3 : 0;
+}
