@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_object_clustering.dir/ext_object_clustering.cc.o"
+  "CMakeFiles/ext_object_clustering.dir/ext_object_clustering.cc.o.d"
+  "ext_object_clustering"
+  "ext_object_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_object_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

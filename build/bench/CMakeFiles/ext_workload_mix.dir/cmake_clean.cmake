@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_workload_mix.dir/ext_workload_mix.cc.o"
+  "CMakeFiles/ext_workload_mix.dir/ext_workload_mix.cc.o.d"
+  "ext_workload_mix"
+  "ext_workload_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_workload_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

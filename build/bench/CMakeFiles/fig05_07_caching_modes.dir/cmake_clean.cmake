@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_07_caching_modes.dir/fig05_07_caching_modes.cc.o"
+  "CMakeFiles/fig05_07_caching_modes.dir/fig05_07_caching_modes.cc.o.d"
+  "fig05_07_caching_modes"
+  "fig05_07_caching_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_07_caching_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

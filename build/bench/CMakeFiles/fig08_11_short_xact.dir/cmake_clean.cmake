@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_11_short_xact.dir/fig08_11_short_xact.cc.o"
+  "CMakeFiles/fig08_11_short_xact.dir/fig08_11_short_xact.cc.o.d"
+  "fig08_11_short_xact"
+  "fig08_11_short_xact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_11_short_xact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

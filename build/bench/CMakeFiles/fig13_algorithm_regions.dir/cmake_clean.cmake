@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_algorithm_regions.dir/fig13_algorithm_regions.cc.o"
+  "CMakeFiles/fig13_algorithm_regions.dir/fig13_algorithm_regions.cc.o.d"
+  "fig13_algorithm_regions"
+  "fig13_algorithm_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_algorithm_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_15_large_xact.dir/fig14_15_large_xact.cc.o"
+  "CMakeFiles/fig14_15_large_xact.dir/fig14_15_large_xact.cc.o.d"
+  "fig14_15_large_xact"
+  "fig14_15_large_xact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_15_large_xact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

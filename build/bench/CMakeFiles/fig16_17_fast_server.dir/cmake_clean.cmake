@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_17_fast_server.dir/fig16_17_fast_server.cc.o"
+  "CMakeFiles/fig16_17_fast_server.dir/fig16_17_fast_server.cc.o.d"
+  "fig16_17_fast_server"
+  "fig16_17_fast_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_17_fast_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

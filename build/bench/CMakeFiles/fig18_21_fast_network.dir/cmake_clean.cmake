@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_21_fast_network.dir/fig18_21_fast_network.cc.o"
+  "CMakeFiles/fig18_21_fast_network.dir/fig18_21_fast_network.cc.o.d"
+  "fig18_21_fast_network"
+  "fig18_21_fast_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_21_fast_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_interactive.dir/fig22_interactive.cc.o"
+  "CMakeFiles/fig22_interactive.dir/fig22_interactive.cc.o.d"
+  "fig22_interactive"
+  "fig22_interactive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_interactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cad_session.dir/cad_session.cpp.o"
+  "CMakeFiles/cad_session.dir/cad_session.cpp.o.d"
+  "cad_session"
+  "cad_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cad_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

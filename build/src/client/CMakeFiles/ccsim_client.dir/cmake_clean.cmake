@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsim_client.dir/client.cc.o"
+  "CMakeFiles/ccsim_client.dir/client.cc.o.d"
+  "CMakeFiles/ccsim_client.dir/client_cache.cc.o"
+  "CMakeFiles/ccsim_client.dir/client_cache.cc.o.d"
+  "libccsim_client.a"
+  "libccsim_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsim_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsim_config.dir/params.cc.o"
+  "CMakeFiles/ccsim_config.dir/params.cc.o.d"
+  "libccsim_config.a"
+  "libccsim_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsim_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

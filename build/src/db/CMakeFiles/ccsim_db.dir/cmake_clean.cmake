@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsim_db.dir/database.cc.o"
+  "CMakeFiles/ccsim_db.dir/database.cc.o.d"
+  "libccsim_db.a"
+  "libccsim_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsim_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lock/lock_manager.cc" "src/lock/CMakeFiles/ccsim_lock.dir/lock_manager.cc.o" "gcc" "src/lock/CMakeFiles/ccsim_lock.dir/lock_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/ccsim_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/ccsim_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsim_lock.dir/lock_manager.cc.o"
+  "CMakeFiles/ccsim_lock.dir/lock_manager.cc.o.d"
+  "libccsim_lock.a"
+  "libccsim_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsim_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

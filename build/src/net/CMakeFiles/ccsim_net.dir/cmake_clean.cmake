@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsim_net.dir/network.cc.o"
+  "CMakeFiles/ccsim_net.dir/network.cc.o.d"
+  "libccsim_net.a"
+  "libccsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/callback.cc" "src/proto/CMakeFiles/ccsim_proto.dir/callback.cc.o" "gcc" "src/proto/CMakeFiles/ccsim_proto.dir/callback.cc.o.d"
+  "/root/repo/src/proto/certification.cc" "src/proto/CMakeFiles/ccsim_proto.dir/certification.cc.o" "gcc" "src/proto/CMakeFiles/ccsim_proto.dir/certification.cc.o.d"
+  "/root/repo/src/proto/factory.cc" "src/proto/CMakeFiles/ccsim_proto.dir/factory.cc.o" "gcc" "src/proto/CMakeFiles/ccsim_proto.dir/factory.cc.o.d"
+  "/root/repo/src/proto/no_wait.cc" "src/proto/CMakeFiles/ccsim_proto.dir/no_wait.cc.o" "gcc" "src/proto/CMakeFiles/ccsim_proto.dir/no_wait.cc.o.d"
+  "/root/repo/src/proto/protocol.cc" "src/proto/CMakeFiles/ccsim_proto.dir/protocol.cc.o" "gcc" "src/proto/CMakeFiles/ccsim_proto.dir/protocol.cc.o.d"
+  "/root/repo/src/proto/two_phase.cc" "src/proto/CMakeFiles/ccsim_proto.dir/two_phase.cc.o" "gcc" "src/proto/CMakeFiles/ccsim_proto.dir/two_phase.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/client/CMakeFiles/ccsim_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/ccsim_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ccsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ccsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ccsim_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/ccsim_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/ccsim_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/ccsim_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

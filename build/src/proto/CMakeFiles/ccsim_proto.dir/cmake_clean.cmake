@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsim_proto.dir/callback.cc.o"
+  "CMakeFiles/ccsim_proto.dir/callback.cc.o.d"
+  "CMakeFiles/ccsim_proto.dir/certification.cc.o"
+  "CMakeFiles/ccsim_proto.dir/certification.cc.o.d"
+  "CMakeFiles/ccsim_proto.dir/factory.cc.o"
+  "CMakeFiles/ccsim_proto.dir/factory.cc.o.d"
+  "CMakeFiles/ccsim_proto.dir/no_wait.cc.o"
+  "CMakeFiles/ccsim_proto.dir/no_wait.cc.o.d"
+  "CMakeFiles/ccsim_proto.dir/protocol.cc.o"
+  "CMakeFiles/ccsim_proto.dir/protocol.cc.o.d"
+  "CMakeFiles/ccsim_proto.dir/two_phase.cc.o"
+  "CMakeFiles/ccsim_proto.dir/two_phase.cc.o.d"
+  "libccsim_proto.a"
+  "libccsim_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsim_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

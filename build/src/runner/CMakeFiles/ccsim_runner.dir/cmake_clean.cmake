@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsim_runner.dir/experiment.cc.o"
+  "CMakeFiles/ccsim_runner.dir/experiment.cc.o.d"
+  "CMakeFiles/ccsim_runner.dir/report.cc.o"
+  "CMakeFiles/ccsim_runner.dir/report.cc.o.d"
+  "libccsim_runner.a"
+  "libccsim_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsim_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsim_server.dir/server.cc.o"
+  "CMakeFiles/ccsim_server.dir/server.cc.o.d"
+  "libccsim_server.a"
+  "libccsim_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsim_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsim_sim.dir/resource.cc.o"
+  "CMakeFiles/ccsim_sim.dir/resource.cc.o.d"
+  "CMakeFiles/ccsim_sim.dir/simulator.cc.o"
+  "CMakeFiles/ccsim_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/ccsim_sim.dir/stats.cc.o"
+  "CMakeFiles/ccsim_sim.dir/stats.cc.o.d"
+  "libccsim_sim.a"
+  "libccsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

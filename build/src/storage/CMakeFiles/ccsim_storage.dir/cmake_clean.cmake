@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsim_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/ccsim_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/ccsim_storage.dir/log_manager.cc.o"
+  "CMakeFiles/ccsim_storage.dir/log_manager.cc.o.d"
+  "libccsim_storage.a"
+  "libccsim_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsim_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsim_util.dir/status.cc.o"
+  "CMakeFiles/ccsim_util.dir/status.cc.o.d"
+  "libccsim_util.a"
+  "libccsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsim_workload.dir/workload.cc.o"
+  "CMakeFiles/ccsim_workload.dir/workload.cc.o.d"
+  "libccsim_workload.a"
+  "libccsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_cache_test.dir/client_cache_test.cc.o"
+  "CMakeFiles/client_cache_test.dir/client_cache_test.cc.o.d"
+  "client_cache_test"
+  "client_cache_test.pdb"
+  "client_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lock_manager_test.cc" "tests/CMakeFiles/lock_manager_test.dir/lock_manager_test.cc.o" "gcc" "tests/CMakeFiles/lock_manager_test.dir/lock_manager_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runner/CMakeFiles/ccsim_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/ccsim_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/ccsim_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ccsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/ccsim_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ccsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ccsim_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/ccsim_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/ccsim_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/ccsim_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queueing_theory_test.dir/queueing_theory_test.cc.o"
+  "CMakeFiles/queueing_theory_test.dir/queueing_theory_test.cc.o.d"
+  "queueing_theory_test"
+  "queueing_theory_test.pdb"
+  "queueing_theory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queueing_theory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

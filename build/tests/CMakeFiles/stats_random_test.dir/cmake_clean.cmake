@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_random_test.dir/stats_random_test.cc.o"
+  "CMakeFiles/stats_random_test.dir/stats_random_test.cc.o.d"
+  "stats_random_test"
+  "stats_random_test.pdb"
+  "stats_random_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

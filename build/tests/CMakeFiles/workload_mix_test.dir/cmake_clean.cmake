@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_mix_test.dir/workload_mix_test.cc.o"
+  "CMakeFiles/workload_mix_test.dir/workload_mix_test.cc.o.d"
+  "workload_mix_test"
+  "workload_mix_test.pdb"
+  "workload_mix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_mix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_random_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/lock_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/liveness_test[1]_include.cmake")
+include("/root/repo/build/tests/database_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/network_test[1]_include.cmake")
+include("/root/repo/build/tests/client_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/config_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_mix_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_behavior_test[1]_include.cmake")
+include("/root/repo/build/tests/directory_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/queueing_theory_test[1]_include.cmake")

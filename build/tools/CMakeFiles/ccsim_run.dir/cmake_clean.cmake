@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsim_run.dir/ccsim_run.cc.o"
+  "CMakeFiles/ccsim_run.dir/ccsim_run.cc.o.d"
+  "ccsim_run"
+  "ccsim_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsim_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
