@@ -1,5 +1,6 @@
 #include "client/client.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "proto/protocol.h"
@@ -10,6 +11,26 @@ namespace ccsim::client {
 namespace {
 /// Client ids occupy the low bits of transaction uids.
 constexpr std::uint64_t kUidClientBits = 10;
+
+/// Duplicate-suppression window: asynchronous sequence numbers older than
+/// this many messages are forgotten. Far larger than the number of
+/// messages that can be in flight on one client/server pair.
+constexpr std::size_t kSeenSeqWindow = 4096;
+
+/// The reply type a given synchronous request expects; used to synthesize
+/// an aborted reply when the real one will never come.
+net::MsgType ReplyTypeFor(net::MsgType request) {
+  switch (request) {
+    case net::MsgType::kReadRequest:
+      return net::MsgType::kReadReply;
+    case net::MsgType::kUpgradeRequest:
+      return net::MsgType::kUpgradeReply;
+    case net::MsgType::kCommitRequest:
+      return net::MsgType::kCommitReply;
+    default:
+      return request;
+  }
+}
 }  // namespace
 
 Client::Client(sim::Simulator* simulator, int id,
@@ -25,6 +46,14 @@ Client::Client(sim::Simulator* simulator, int id,
       generator_(config.EffectiveMix(), layout, object_rng, delay_rng),
       inbox_(simulator) {
   CCSIM_CHECK(id >= 0 && id < (1 << kUidClientBits) - 1);
+  resilient_ = config.fault.recovery_enabled;
+  if (resilient_) {
+    rpc_timeout_ticks_ = sim::MillisToTicks(config.fault.rpc_timeout_ms);
+    rpc_timeout_cap_ticks_ =
+        sim::MillisToTicks(config.fault.rpc_timeout_cap_ms);
+    lease_ticks_ = sim::MillisToTicks(config.fault.lease_ms);
+    recovered_ = std::make_unique<sim::Event>(simulator);
+  }
   client_proc_page_ticks_ = sim::CpuDemand(
       config.system.client_proc_page_instr, config.system.client_mips);
   const sim::Ticks msg_cost =
@@ -70,19 +99,168 @@ sim::Task<net::Message> Client::Rpc(net::Message msg) {
   msg.src = id_;
   msg.dst = net::kServerNode;
   msg.request_id = next_request_id_++;
+  if (resilient_) {
+    msg.seq = next_seq_++;
+    msg.incarnation = incarnation_;
+    if (msg.type == net::MsgType::kCommitRequest) {
+      // Ship the full updated-set: the server refuses to commit unless it
+      // holds an image of every updated page, so a lost dirty eviction
+      // surfaces as an abort rather than a lost update.
+      msg.updated_set.assign(updated_this_xact_.begin(),
+                             updated_this_xact_.end());
+      std::sort(msg.updated_set.begin(), msg.updated_set.end());
+    }
+  }
   const std::uint64_t request_id = msg.request_id;
-  sim::OneShot<net::Message> slot(simulator_);
+  RpcSlot slot;
   pending_.emplace(request_id, &slot);
-  co_await network_->Send(std::move(msg));
-  net::Message reply = co_await slot.Wait();
-  co_return reply;
+  sim::Ticks timeout = resilient_ ? rpc_timeout_ticks_ : 0;
+  int retries_left = resilient_ ? config_.fault.max_rpc_retries : 0;
+  bool gave_up = false;
+  bool first_send = true;
+  while (true) {
+    if (crashed_) {
+      break;
+    }
+    if (!first_send) {
+      metrics_->RecordRpcRetry();
+    }
+    first_send = false;
+    co_await network_->Send(msg);
+    // A reply to an earlier transmission (or a crash) may have landed while
+    // the send held the CPU; ReplyWaiter's await_ready covers that.
+    ++slot.wait_epoch;
+    co_await ReplyWaiter{this, &slot, request_id, timeout};
+    if (slot.reply.has_value() || slot.failed || crashed_) {
+      break;
+    }
+    // Timer expired with nothing heard: back off and retransmit.
+    if (retries_left == 0) {
+      gave_up = true;
+      break;
+    }
+    --retries_left;
+    timeout = std::min(timeout * 2, rpc_timeout_cap_ticks_);
+  }
+  pending_.erase(request_id);
+  if (slot.reply.has_value()) {
+    co_return std::move(*slot.reply);
+  }
+  // The reply will never come (crash) or we stopped waiting for it
+  // (retransmissions exhausted). Abort the attempt locally and hand the
+  // protocol a synthetic aborted reply so it unwinds normally.
+  CCSIM_CHECK(resilient_);
+  if (gave_up && msg.type == net::MsgType::kCommitRequest) {
+    metrics_->RecordUnknownOutcome();
+  }
+  if (current_xact_ != 0 && msg.xact == current_xact_ && !abort_flag_) {
+    abort_flag_ = true;
+    last_abort_kind_ =
+        gave_up ? runner::AbortKind::kTimeout : runner::AbortKind::kCrash;
+  }
+  net::Message synth;
+  synth.type = ReplyTypeFor(msg.type);
+  synth.src = net::kServerNode;
+  synth.dst = id_;
+  synth.xact = msg.xact;
+  synth.request_id = request_id;
+  synth.aborted = true;
+  co_return synth;
+}
+
+void Client::ArmRpcTimeout(std::uint64_t request_id, std::uint64_t epoch,
+                           sim::Ticks timeout) {
+  simulator_->ScheduleAfter(timeout, [this, request_id, epoch] {
+    auto it = pending_.find(request_id);
+    if (it == pending_.end()) {
+      return;  // RPC already finished
+    }
+    RpcSlot* slot = it->second;
+    if (slot->wait_epoch != epoch || slot->woken ||
+        slot->waiter == nullptr) {
+      return;  // stale timer from a previous transmission
+    }
+    metrics_->RecordRpcTimeout();
+    WakeSlot(slot);
+  });
+}
+
+void Client::WakeSlot(RpcSlot* slot) {
+  if (slot->waiter != nullptr && !slot->woken) {
+    slot->woken = true;
+    simulator_->ScheduleResumeAt(simulator_->Now(), slot->waiter);
+  }
+}
+
+bool Client::NoteSeenSeq(std::uint64_t seq) {
+  if (!seen_seq_.insert(seq).second) {
+    return false;
+  }
+  seen_order_.push_back(seq);
+  if (seen_order_.size() > kSeenSeqWindow) {
+    seen_seq_.erase(seen_order_.front());
+    seen_order_.pop_front();
+  }
+  return true;
 }
 
 sim::Task<void> Client::SendAsync(net::Message msg) {
+  if (crashed_) {
+    co_return;  // a dead workstation sends nothing
+  }
   msg.src = id_;
   msg.dst = net::kServerNode;
   msg.request_id = 0;
+  if (resilient_) {
+    msg.seq = next_seq_++;
+    msg.incarnation = incarnation_;
+  }
   co_await network_->Send(std::move(msg));
+}
+
+void Client::Crash() {
+  if (crashed_) {
+    return;
+  }
+  crashed_ = true;
+  crash_dirty_ = true;
+  metrics_->RecordClientCrash();
+  if (current_xact_ != 0 && !abort_flag_) {
+    abort_flag_ = true;
+    last_abort_kind_ = runner::AbortKind::kCrash;
+  }
+  // Every outstanding RPC fails immediately: the waiting coroutines resume,
+  // see `failed`, and unwind their attempts as crash aborts.
+  for (auto& [request_id, slot] : pending_) {
+    slot->failed = true;
+    WakeSlot(slot);
+  }
+  // Messages queued but not yet processed died with the process.
+  inbox_.Clear();
+  deferred_.clear();
+}
+
+void Client::Recover() {
+  CCSIM_CHECK(crashed_);
+  crashed_ = false;
+  ++incarnation_;
+  recovered_->Signal();
+}
+
+sim::Task<void> Client::FinishCrashRecovery() {
+  // Volatile state did not survive: wipe the page cache and everything the
+  // previous life was tracking. Safe here — the driver sits at an attempt
+  // boundary, so no coroutine is mid-walk over the cache.
+  cache_.Clear();
+  pending_stale_.clear();
+  updated_this_xact_.clear();
+  seen_seq_.clear();
+  seen_order_.clear();
+  deferred_.clear();
+  crash_dirty_ = false;
+  while (crashed_) {
+    co_await recovered_->Wait();
+  }
 }
 
 sim::Task<void> Client::ChargePageProcessing(int pages) {
@@ -136,9 +314,13 @@ sim::Process Client::Driver() {
     int attempts = 0;
     while (true) {
       ++attempts;
+      if (crash_dirty_) {
+        co_await FinishCrashRecovery();
+      }
       current_xact_ = NewXactUid();
       abort_flag_ = false;
       pending_stale_.clear();
+      updated_this_xact_.clear();
       protocol_->OnAttemptStart();
       const bool committed = co_await protocol_->RunAttempt(spec);
       co_await protocol_->OnAttemptEnd(committed);
@@ -166,12 +348,29 @@ sim::Process Client::Driver() {
 sim::Process Client::Dispatcher() {
   while (true) {
     net::Message msg = co_await inbox_.Receive();
+    if (crashed_) {
+      continue;  // lost with the process
+    }
     if (msg.request_id != 0) {
       auto it = pending_.find(msg.request_id);
-      CCSIM_CHECK_MSG(it != pending_.end(), "reply with no pending request");
-      sim::OneShot<net::Message>* slot = it->second;
-      pending_.erase(it);
-      slot->Set(std::move(msg));
+      if (it == pending_.end()) {
+        // Duplicate of a reply we already consumed, or a reply that raced
+        // a timeout give-up. Only possible on a faulty network.
+        CCSIM_CHECK_MSG(resilient_, "reply with no pending request");
+        metrics_->RecordDuplicateSuppressed();
+        continue;
+      }
+      RpcSlot* slot = it->second;
+      if (slot->reply.has_value()) {
+        metrics_->RecordDuplicateSuppressed();
+        continue;
+      }
+      slot->reply = std::move(msg);
+      WakeSlot(slot);
+      continue;
+    }
+    if (resilient_ && msg.seq != 0 && !NoteSeenSeq(msg.seq)) {
+      metrics_->RecordDuplicateSuppressed();
       continue;
     }
     if (in_user_delay_) {

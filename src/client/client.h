@@ -1,11 +1,14 @@
 #ifndef CCSIM_CLIENT_CLIENT_H_
 #define CCSIM_CLIENT_CLIENT_H_
 
+#include <coroutine>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "client/client_cache.h"
@@ -87,7 +90,10 @@ class Client {
   }
 
   /// Sends a request and waits for the matching reply. Charges send-side
-  /// CPU; the reply is routed by the dispatcher.
+  /// CPU; the reply is routed by the dispatcher. In recovery mode the wait
+  /// is bounded: on timeout the request is retransmitted with exponential
+  /// backoff, and when retries are exhausted (or this client crashes) a
+  /// synthetic aborted reply is returned and the attempt is marked aborted.
   sim::Task<net::Message> Rpc(net::Message msg);
 
   /// Fire-and-forget send (charges send-side CPU).
@@ -108,6 +114,30 @@ class Client {
   /// Ticks per page of client processing.
   sim::Ticks page_processing_cost() const { return client_proc_page_ticks_; }
 
+  // --- failure recovery (fault-injection runs only) ---
+
+  /// True when the recovery layer (timeouts, retries, dedup, leases) is on.
+  bool resilient() const { return resilient_; }
+  /// True while this workstation is crashed (between Crash and Recover).
+  bool crashed() const { return crashed_; }
+  /// Kills the workstation: pending RPCs fail, queued messages are lost,
+  /// and the current attempt is marked aborted. The page cache is wiped at
+  /// the driver's next attempt boundary (volatile state does not survive),
+  /// where the driver also waits for Recover().
+  void Crash();
+  /// Restarts the workstation under a new incarnation; the server GCs the
+  /// previous life's state when it sees the higher incarnation number.
+  void Recover();
+  /// Records a page updated by the current attempt (recovery mode ships the
+  /// full updated-set with the commit so a lost dirty eviction is detected).
+  void NoteUpdated(db::PageId page) {
+    if (resilient_) {
+      updated_this_xact_.insert(page);
+    }
+  }
+  /// Lease duration on asynchronously-maintained cache state (0 = off).
+  sim::Ticks lease_ticks() const { return lease_ticks_; }
+
   // Debug/diagnostic accessors.
   std::size_t pending_rpcs() const { return pending_.size(); }
   net::MsgType last_rpc_type() const { return last_rpc_type_; }
@@ -118,8 +148,51 @@ class Client {
  private:
   friend class ClientTestPeer;
 
+  /// Rendezvous for one in-flight RPC. Unlike a OneShot, a slot can be
+  /// woken more than once across retransmissions: the waiting coroutine
+  /// re-arms it (bumping `wait_epoch`) before every bounded wait, and a
+  /// timer from a previous epoch that fires late is ignored.
+  struct RpcSlot {
+    std::optional<net::Message> reply;
+    /// The workstation crashed while this RPC was outstanding.
+    bool failed = false;
+    /// A resume for the current epoch has already been scheduled.
+    bool woken = false;
+    std::uint64_t wait_epoch = 0;
+    std::coroutine_handle<> waiter = nullptr;
+  };
+
+  /// Awaits a reply, a crash, or (when `timeout` > 0) a timer expiry.
+  struct ReplyWaiter {
+    Client* client;
+    RpcSlot* slot;
+    std::uint64_t request_id;
+    sim::Ticks timeout;
+    bool await_ready() const noexcept {
+      return slot->reply.has_value() || slot->failed;
+    }
+    void await_suspend(std::coroutine_handle<> handle) {
+      slot->waiter = handle;
+      slot->woken = false;
+      if (timeout > 0) {
+        client->ArmRpcTimeout(request_id, slot->wait_epoch, timeout);
+      }
+    }
+    void await_resume() noexcept { slot->waiter = nullptr; }
+  };
+
   sim::Process Driver();
   sim::Process Dispatcher();
+  void ArmRpcTimeout(std::uint64_t request_id, std::uint64_t epoch,
+                     sim::Ticks timeout);
+  /// Wakes `slot` (at most once per epoch) by scheduling its waiter now.
+  void WakeSlot(RpcSlot* slot);
+  /// Duplicate check for asynchronous server messages (true = first time).
+  bool NoteSeenSeq(std::uint64_t seq);
+  /// Models the loss of volatile state after Crash(): wipes the page cache
+  /// and per-transaction bookkeeping, then waits for Recover(). Runs at the
+  /// driver's attempt boundary so no coroutine is mid-walk over the cache.
+  sim::Task<void> FinishCrashRecovery();
   /// Waits `delay`; with `defer_async`, asynchronous server messages are
   /// queued during the wait (the paper's in-transaction think times). Idle
   /// waits (external think, restart delay) process messages immediately.
@@ -148,10 +221,26 @@ class Client {
   net::MsgType last_rpc_type_{};
   sim::Ticks last_rpc_at_ = 0;
   std::uint64_t next_request_id_ = 1;
-  std::unordered_map<std::uint64_t, sim::OneShot<net::Message>*> pending_;
+  std::unordered_map<std::uint64_t, RpcSlot*> pending_;
 
   bool in_user_delay_ = false;
   std::deque<net::Message> deferred_;
+
+  // --- recovery-mode state (inert when resilient_ is false) ---
+  bool resilient_ = false;
+  sim::Ticks rpc_timeout_ticks_ = 0;
+  sim::Ticks rpc_timeout_cap_ticks_ = 0;
+  sim::Ticks lease_ticks_ = 0;
+  bool crashed_ = false;
+  /// Crash happened; the cache wipe is still owed at the attempt boundary.
+  bool crash_dirty_ = false;
+  std::uint32_t incarnation_ = 1;
+  std::uint64_t next_seq_ = 1;
+  std::unique_ptr<sim::Event> recovered_;
+  std::unordered_set<db::PageId> updated_this_xact_;
+  /// Sliding window of asynchronous sequence numbers already processed.
+  std::unordered_set<std::uint64_t> seen_seq_;
+  std::deque<std::uint64_t> seen_order_;
 };
 
 }  // namespace ccsim::client

@@ -28,6 +28,12 @@ struct CachedPage {
   bool retained = false;
   /// Retain-write-locks ablation: the retained lock is exclusive.
   bool retained_x = false;
+  /// Recovery mode: tick until which asynchronously-maintained state
+  /// (a retained lock, or a no-wait-notify copy kept fresh by update
+  /// propagation) may be trusted. 0 = no lease tracking. Past this, a lost
+  /// callback or propagation can no longer wedge the protocol: the client
+  /// re-validates with the server instead of trusting the copy.
+  std::int64_t lease_until = 0;
   PageLock lock = PageLock::kNone;
 };
 

@@ -153,6 +153,45 @@ Status ExperimentConfig::Validate() const {
   if (control.warmup_seconds < 0 || control.max_measure_seconds <= 0) {
     return Status::InvalidArgument("bad measurement window");
   }
+  if (fault.drop_probability < 0.0 || fault.drop_probability >= 1.0 ||
+      fault.duplicate_probability < 0.0 ||
+      fault.duplicate_probability >= 1.0 ||
+      fault.delay_spike_probability < 0.0 ||
+      fault.delay_spike_probability > 1.0) {
+    return Status::InvalidArgument("fault probabilities must be in [0,1)");
+  }
+  if (fault.delay_spike_ms < 0.0) {
+    return Status::InvalidArgument("delay_spike_ms must be >= 0");
+  }
+  for (const FaultParams::CrashEvent& crash : fault.crashes) {
+    if (crash.node < -1 || crash.node >= system.num_clients) {
+      return Status::InvalidArgument(
+          "crash node must be -1 (server) or a client id");
+    }
+    if (crash.at_s < 0.0 || crash.downtime_s <= 0.0) {
+      return Status::InvalidArgument("bad crash schedule entry");
+    }
+  }
+  if ((fault.drop_probability > 0.0 || fault.duplicate_probability > 0.0 ||
+       !fault.crashes.empty()) &&
+      !fault.recovery_enabled) {
+    // Without retries and duplicate suppression a lost or repeated message
+    // wedges a client forever; only pure delay spikes are survivable.
+    return Status::InvalidArgument(
+        "message loss/duplication/crashes require fault.recovery_enabled");
+  }
+  if (fault.recovery_enabled) {
+    if (fault.rpc_timeout_ms <= 0.0 ||
+        fault.rpc_timeout_cap_ms < fault.rpc_timeout_ms) {
+      return Status::InvalidArgument("bad RPC timeout range");
+    }
+    if (fault.max_rpc_retries < 1) {
+      return Status::InvalidArgument("max_rpc_retries must be >= 1");
+    }
+    if (fault.lease_ms < 0.0 || fault.xact_idle_timeout_ms < 0.0) {
+      return Status::InvalidArgument("lease/idle timeouts must be >= 0");
+    }
+  }
   return Status::OK();
 }
 

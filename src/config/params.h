@@ -160,6 +160,56 @@ struct ControlParams {
   bool record_history = false;
 };
 
+/// Fault injection and failure recovery (robustness extension; not a paper
+/// table). Everything defaults off: a default-constructed FaultParams leaves
+/// the simulation bit-identical to a build without the fault subsystem.
+struct FaultParams {
+  // --- fault model (drawn per message by fault::FaultInjector) ---
+  /// Probability that a message vanishes in transit.
+  double drop_probability = 0.0;
+  /// Probability that a message is delivered twice.
+  double duplicate_probability = 0.0;
+  /// Probability that a message suffers an extra delay spike.
+  double delay_spike_probability = 0.0;
+  /// Extra in-transit delay for spiked messages (milliseconds).
+  double delay_spike_ms = 20.0;
+  /// Scheduled crashes: `node` is -1 (the server) or a client id. The node
+  /// is down — sending and receiving nothing — for `downtime_s` simulated
+  /// seconds starting at `at_s`; a crashed server additionally replays its
+  /// log before accepting traffic again.
+  struct CrashEvent {
+    int node = 0;
+    double at_s = 0.0;
+    double downtime_s = 1.0;
+  };
+  std::vector<CrashEvent> crashes;
+
+  // --- survival machinery (timeouts, retries, leases, server-side GC) ---
+  /// Master switch for the recovery layer: RPC timeouts with retransmission,
+  /// duplicate suppression, commit revalidation, leases, and crashed-client
+  /// GC. Off, the protocols assume a perfect substrate exactly as the paper
+  /// does (and must: message loss without retries hangs a client forever).
+  bool recovery_enabled = false;
+  /// Initial RPC reply timeout; doubles per retransmission up to the cap.
+  double rpc_timeout_ms = 200.0;
+  double rpc_timeout_cap_ms = 5000.0;
+  /// Retransmissions before the client gives up and aborts the attempt.
+  int max_rpc_retries = 10;
+  /// Lease on trust in asynchronously-maintained cache state (retained
+  /// callback locks, notified copies): entries older than this are
+  /// revalidated with the server instead of used directly, so a lost
+  /// callback or propagation degrades to a stale-read abort. 0 disables.
+  double lease_ms = 2000.0;
+  /// Server-side reaper: live transactions with no client contact for this
+  /// long are aborted (suspected client crash). 0 disables.
+  double xact_idle_timeout_ms = 60000.0;
+
+  bool AnyFaults() const {
+    return drop_probability > 0.0 || duplicate_probability > 0.0 ||
+           delay_spike_probability > 0.0 || !crashes.empty();
+  }
+};
+
 /// One transaction type in a mixed workload, with its selection weight.
 struct MixEntry {
   TransactionParams params;
@@ -179,6 +229,7 @@ struct ExperimentConfig {
   SystemParams system;
   AlgorithmParams algorithm;
   ControlParams control;
+  FaultParams fault;
 
   /// The transaction types actually in effect (the mix, or the single
   /// primary type).

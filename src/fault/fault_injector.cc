@@ -1,0 +1,62 @@
+#include "fault/fault_injector.h"
+
+#include <utility>
+
+namespace ccsim::fault {
+
+FaultInjector::FaultInjector(FaultPlan plan, sim::Pcg32 rng)
+    : plan_(std::move(plan)), rng_(rng) {}
+
+const LinkFaults& FaultInjector::LinkFor(int src, int dst) const {
+  auto it = plan_.per_link.find({src, dst});
+  return it == plan_.per_link.end() ? plan_.link : it->second;
+}
+
+FaultInjector::SendOutcome FaultInjector::DrawSendOutcome(int src, int dst) {
+  const LinkFaults& faults = LinkFor(src, dst);
+  if (faults.drop > 0.0 && rng_.Bernoulli(faults.drop)) {
+    ++messages_dropped_;
+    return SendOutcome::kDrop;
+  }
+  if (faults.duplicate > 0.0 && rng_.Bernoulli(faults.duplicate)) {
+    ++messages_duplicated_;
+    return SendOutcome::kDuplicate;
+  }
+  return SendOutcome::kDeliver;
+}
+
+sim::Ticks FaultInjector::DrawExtraDelay(int src, int dst) {
+  const LinkFaults& faults = LinkFor(src, dst);
+  if (faults.delay_spike <= 0.0 || faults.spike_delay <= 0) {
+    return 0;
+  }
+  if (!rng_.Bernoulli(faults.delay_spike)) {
+    return 0;
+  }
+  ++delay_spikes_;
+  return faults.spike_delay;
+}
+
+void FaultInjector::SetDown(int node, bool down) {
+  if (down) {
+    down_.insert(node);
+  } else {
+    down_.erase(node);
+  }
+}
+
+FaultPlan MakePlan(const config::FaultParams& params) {
+  FaultPlan plan;
+  plan.link.drop = params.drop_probability;
+  plan.link.duplicate = params.duplicate_probability;
+  plan.link.delay_spike = params.delay_spike_probability;
+  plan.link.spike_delay = sim::MillisToTicks(params.delay_spike_ms);
+  for (const config::FaultParams::CrashEvent& crash : params.crashes) {
+    plan.crashes.push_back(CrashWindow{crash.node,
+                                       sim::SecondsToTicks(crash.at_s),
+                                       sim::SecondsToTicks(crash.downtime_s)});
+  }
+  return plan;
+}
+
+}  // namespace ccsim::fault

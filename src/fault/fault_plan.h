@@ -1,0 +1,65 @@
+#ifndef CCSIM_FAULT_FAULT_PLAN_H_
+#define CCSIM_FAULT_FAULT_PLAN_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ccsim::fault {
+
+/// Message-level fault rates for one directed link (src -> dst).
+struct LinkFaults {
+  /// Probability that a message vanishes in transit.
+  double drop = 0.0;
+  /// Probability that a message is delivered twice (the network layer's
+  /// classic at-least-once failure; exercises duplicate suppression).
+  double duplicate = 0.0;
+  /// Probability that a message suffers an extra delay spike.
+  double delay_spike = 0.0;
+  /// Size of the delay spike.
+  sim::Ticks spike_delay = 0;
+
+  bool Any() const {
+    return drop > 0.0 || duplicate > 0.0 ||
+           (delay_spike > 0.0 && spike_delay > 0);
+  }
+};
+
+/// A scheduled crash: `node` (net::kServerNode or a client id) is down —
+/// sends and receives nothing — from `at` until `at + downtime`. A crashed
+/// server additionally replays its log before accepting traffic again, so
+/// its effective outage is longer than `downtime`.
+struct CrashWindow {
+  int node = 0;
+  sim::Ticks at = 0;
+  sim::Ticks downtime = 0;
+};
+
+/// A deterministic fault schedule for one run. Default-constructed, every
+/// fault is off: an injector built from `FaultPlan{}` never perturbs the
+/// simulation (asserted by regression tests).
+struct FaultPlan {
+  /// Fault rates applied to every link without a per-link override.
+  LinkFaults link;
+  /// Per-link overrides keyed by (src, dst) node ids.
+  std::map<std::pair<int, int>, LinkFaults> per_link;
+  std::vector<CrashWindow> crashes;
+
+  bool Any() const {
+    if (link.Any() || !crashes.empty()) {
+      return true;
+    }
+    for (const auto& [key, faults] : per_link) {
+      if (faults.Any()) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace ccsim::fault
+
+#endif  // CCSIM_FAULT_FAULT_PLAN_H_

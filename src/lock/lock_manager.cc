@@ -328,6 +328,25 @@ void LockManager::CancelOwner(OwnerId owner) {
   ReleaseAll(owner);
 }
 
+void LockManager::Reset() {
+  // Collect the slots first: waking a waiter mutates nothing here (Set only
+  // schedules a resume), but iterating a table we are also clearing would.
+  std::vector<sim::OneShot<LockOutcome>*> slots;
+  for (auto& [page, entry] : table_) {
+    for (const Waiter& w : entry.waiters) {
+      slots.push_back(w.slot);
+    }
+  }
+  table_.clear();
+  waiting_on_.clear();
+  held_by_.clear();
+  held_count_ = 0;
+  waiter_count_ = 0;
+  for (sim::OneShot<LockOutcome>* slot : slots) {
+    slot->Set(LockOutcome::kAborted);
+  }
+}
+
 void LockManager::TransferLock(OwnerId from, OwnerId to, db::PageId page) {
   Entry* entry = FindEntry(page);
   CCSIM_CHECK_MSG(entry != nullptr, "TransferLock on unlocked page");

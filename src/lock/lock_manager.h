@@ -77,6 +77,17 @@ class LockManager {
   /// that may have requests queued (no-wait locking).
   void CancelOwner(OwnerId owner);
 
+  /// Server-crash modeling: drops the whole lock table. Every held lock
+  /// vanishes and every queued waiter resumes with kAborted (its
+  /// transaction died with the server's volatile state).
+  void Reset();
+
+  /// True if `owner` has any request queued (used to keep the idle-reaper
+  /// from victimizing a transaction that is merely stuck in a lock queue).
+  bool IsWaiting(OwnerId owner) const {
+    return waiting_on_.find(owner) != waiting_on_.end();
+  }
+
   /// Atomically transfers a held lock to another owner (same mode), without
   /// going through the queue. Used by callback locking to convert a
   /// transaction lock into a retained client lock at commit, and back.

@@ -56,6 +56,13 @@ struct Message {
   std::uint64_t xact = 0;
   /// Correlates replies with synchronous requests (0 = asynchronous).
   std::uint64_t request_id = 0;
+  /// Per-sender sequence number for duplicate suppression of asynchronous
+  /// messages on a lossy network (0 = not stamped; fault-free runs never
+  /// stamp, so the recovery layer is invisible to them).
+  std::uint64_t seq = 0;
+  /// Sender incarnation (clients only; bumped on crash-restart so the
+  /// server can garbage-collect state owned by the previous life).
+  std::uint32_t incarnation = 0;
   lock::LockMode mode = lock::LockMode::kShared;
   /// In replies: the transaction was aborted server-side.
   bool aborted = false;
@@ -82,6 +89,12 @@ struct Message {
   // versions the transaction read.
   std::vector<db::PageId> read_set;
   std::vector<std::uint64_t> read_versions;
+
+  // kCommitRequest extras (recovery mode): every page the attempt updated,
+  // whether its image travels here or was shipped earlier in a kDirtyEvict.
+  // The server refuses to commit unless it holds all of them — a lost dirty
+  // eviction then costs an abort instead of a lost update.
+  std::vector<db::PageId> updated_set;
 
   // kCommitReply extras (callback locking): pages whose locks the server
   // released instead of retaining (another transaction was waiting).

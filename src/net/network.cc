@@ -13,9 +13,26 @@ sim::Task<void> Network::Send(Message msg) {
                   msg.src);
   ++messages_sent_;
   packets_sent_ += static_cast<std::uint64_t>(packets);
+  if (injector_ != nullptr && injector_->IsDown(msg.src)) {
+    // A crashed node sends nothing: the sender coroutine is a zombie whose
+    // output dies with the process.
+    injector_->RecordDownDrop();
+    co_return;
+  }
   const Endpoint& src = src_it->second;
   if (src.msg_cost > 0) {
     co_await src.cpu->Use(src.msg_cost * packets);
+  }
+  if (injector_ != nullptr) {
+    switch (injector_->DrawSendOutcome(msg.src, msg.dst)) {
+      case fault::FaultInjector::SendOutcome::kDrop:
+        co_return;
+      case fault::FaultInjector::SendOutcome::kDuplicate:
+        simulator_->Spawn(TransferAndDeliver(msg, packets));
+        break;
+      case fault::FaultInjector::SendOutcome::kDeliver:
+        break;
+    }
   }
   simulator_->Spawn(TransferAndDeliver(std::move(msg), packets));
 }
@@ -24,6 +41,17 @@ sim::Process Network::TransferAndDeliver(Message msg, int packets) {
   if (mean_packet_delay_ > 0) {
     for (int i = 0; i < packets; ++i) {
       co_await medium_.Use(rng_.ExponentialTicks(mean_packet_delay_));
+    }
+  }
+  if (injector_ != nullptr) {
+    const sim::Ticks spike = injector_->DrawExtraDelay(msg.src, msg.dst);
+    if (spike > 0) {
+      co_await simulator_->Delay(spike);
+    }
+    if (injector_->IsDown(msg.dst)) {
+      // The destination crashed while the message was in flight.
+      injector_->RecordDownDrop();
+      co_return;
     }
   }
   auto dst_it = endpoints_.find(msg.dst);

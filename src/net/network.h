@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "fault/fault_injector.h"
 #include "net/message.h"
 #include "sim/event.h"
 #include "sim/random.h"
@@ -40,8 +41,17 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   void RegisterEndpoint(int node, Endpoint endpoint) {
-    endpoints_[node] = endpoint;
+    const bool inserted = endpoints_.emplace(node, endpoint).second;
+    CCSIM_CHECK_MSG(inserted, "endpoint %d registered twice", node);
   }
+
+  /// Attaches a fault injector (nullptr = perfect network, the default).
+  /// The hook costs nothing when unset: Send/TransferAndDeliver touch the
+  /// injector only through this pointer.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
+  fault::FaultInjector* fault_injector() { return injector_; }
 
   /// Sends a message: the caller pays the send-side CPU cost, then transfer
   /// and delivery proceed asynchronously.
@@ -54,6 +64,9 @@ class Network {
     messages_sent_ = 0;
     packets_sent_ = 0;
     medium_.ResetStats(now);
+    if (injector_ != nullptr) {
+      injector_->ResetStats();
+    }
   }
 
  private:
@@ -63,6 +76,7 @@ class Network {
   sim::Ticks mean_packet_delay_;
   sim::Pcg32 rng_;
   sim::Resource medium_;
+  fault::FaultInjector* injector_ = nullptr;
   std::unordered_map<int, Endpoint> endpoints_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t packets_sent_ = 0;

@@ -28,14 +28,26 @@ sim::Task<bool> CallbackClient::ReadObject(const workload::Step& step) {
       continue;
     }
     if (entry->retained) {
-      // The whole point of callback locking: a retained lock guarantees
-      // validity, so the read needs no server contact at all.
-      entry->lock = (retain_write_locks_ && entry->retained_x)
-                        ? client::PageLock::kExclusive
-                        : client::PageLock::kShared;
-      c_.cache().RecordHit();
-      c_.cache().Pin(page);
-      continue;
+      if (entry->lease_until != 0 &&
+          c_.simulator().Now() > entry->lease_until) {
+        // Recovery mode: the lease ran out, so a lost callback may have
+        // let the server force-release this lock behind our back. Stop
+        // trusting it and re-validate with the server like an ordinary
+        // cached copy.
+        c_.metrics().RecordLeaseExpiry();
+        entry->retained = false;
+        entry->retained_x = false;
+        entry->lease_until = 0;
+      } else {
+        // The whole point of callback locking: a retained lock guarantees
+        // validity, so the read needs no server contact at all.
+        entry->lock = (retain_write_locks_ && entry->retained_x)
+                          ? client::PageLock::kExclusive
+                          : client::PageLock::kShared;
+        c_.cache().RecordHit();
+        c_.cache().Pin(page);
+        continue;
+      }
     }
     check.push_back(page);
     check_versions.push_back(entry->version);
@@ -117,6 +129,7 @@ sim::Task<bool> CallbackClient::UpdateObject(const workload::Step& step) {
   }
   for (db::PageId page : step.write_pages) {
     c_.cache().Find(page)->dirty = true;
+    c_.NoteUpdated(page);
   }
   co_await c_.ChargePageProcessing(static_cast<int>(step.write_pages.size()));
   co_return !c_.abort_flag();
@@ -151,6 +164,8 @@ sim::Task<bool> CallbackClient::Commit(const workload::TransactionSpec& spec) {
   }
   // The server converted this transaction's locks into retained locks,
   // except the pages it released to queued waiters.
+  const std::int64_t lease_until =
+      c_.lease_ticks() > 0 ? c_.simulator().Now() + c_.lease_ticks() : 0;
   c_.cache().ForEach([&](db::PageId page, const client::CachedPage& entry) {
     if (entry.lock != client::PageLock::kNone) {
       // ForEach is const; mutate via Find.
@@ -158,6 +173,7 @@ sim::Task<bool> CallbackClient::Commit(const workload::TransactionSpec& spec) {
       mutable_entry->retained = true;
       mutable_entry->retained_x = retain_write_locks_ &&
                                   entry.lock == client::PageLock::kExclusive;
+      mutable_entry->lease_until = lease_until;
     }
   });
   for (db::PageId page : reply.released_pages) {
@@ -165,6 +181,7 @@ sim::Task<bool> CallbackClient::Commit(const workload::TransactionSpec& spec) {
     if (entry != nullptr) {
       entry->retained = false;
       entry->retained_x = false;
+      entry->lease_until = 0;
     }
   }
   co_return true;
@@ -265,6 +282,9 @@ sim::Task<void> CallbackClient::HandleAsync(net::Message msg) {
 CallbackServer::CallbackServer(server::Server* server,
                                bool retain_write_locks)
     : ServerProtocol(server), retain_write_locks_(retain_write_locks) {
+  if (s_.resilient()) {
+    lease_ticks_ = sim::MillisToTicks(s_.config().fault.lease_ms);
+  }
   // Deadlock detection must see through retained locks: a retained lock in
   // use by the owning client's current transaction is released only when
   // that transaction finishes.
@@ -313,6 +333,23 @@ sim::Process CallbackServer::RequestCallbacks(int requester_client,
     callback.type = net::MsgType::kCallbackRequest;
     callback.dst = client;
     callback.pages.push_back(page);
+    if (lease_ticks_ > 0) {
+      // Recovery mode: the callback request or its release may be lost, or
+      // the retainer may be dead. After 1.5 leases (past the point where
+      // the client stops trusting the copy) revoke the lock unilaterally so
+      // the waiter is not wedged forever.
+      s_.simulator().ScheduleAfter(lease_ticks_ + lease_ticks_ / 2, [this,
+                                                                     page,
+                                                                     client] {
+        if (s_.down()) {
+          return;
+        }
+        if (outstanding_callbacks_.count({page, client}) != 0) {
+          s_.metrics().RecordLeaseExpiry();
+          HandleRetainedRelease(client, {page}, /*drop_directory=*/true);
+        }
+      });
+    }
     co_await s_.Send(std::move(callback));
   }
 }
@@ -438,7 +475,17 @@ sim::Task<void> CallbackServer::HandleUpgrade(net::Message msg) {
 
 sim::Task<void> CallbackServer::HandleCommit(net::Message msg) {
   server::XactState* state = s_.FindXact(msg.xact);
-  CCSIM_CHECK(state != nullptr && !state->aborted && !state->done);
+  CCSIM_CHECK(state != nullptr);
+  if (state->aborted || state->done) {
+    // Only reachable with fault injection: the transaction was aborted
+    // (GC, crash) while this commit was queued or in flight.
+    CCSIM_CHECK(s_.resilient());
+    net::Message reply;
+    reply.type = net::MsgType::kCommitReply;
+    reply.aborted = true;
+    co_await s_.Reply(msg, std::move(reply));
+    co_return;
+  }
   // Reads served from retained locks enter the oracle read set; their
   // retained locks protected them the whole time.
   for (std::size_t i = 0; i < msg.read_set.size(); ++i) {
@@ -448,6 +495,19 @@ sim::Task<void> CallbackServer::HandleCommit(net::Message msg) {
                                    /*charge_cpu=*/true);
   net::Message reply;
   reply.type = net::MsgType::kCommitReply;
+  if (!s_.ValidateCommitForRecovery(*state, msg)) {
+    // Recovery mode: a lease force-release let a rival update a page this
+    // transaction read locally, or a dirty eviction never arrived.
+    reply.aborted = true;
+    reply.pages = std::move(state->stale_pages);
+    if (!state->aborted && !state->done) {
+      co_await s_.AbortPipeline(*state);
+    } else {
+      s_.PurgeUncommitted(state->uid);
+    }
+    co_await s_.Reply(msg, std::move(reply));
+    co_return;
+  }
   co_await s_.FinalizeCommit(*state, &reply);
   // Lock disposition: the transaction's locks become retained locks of the
   // client. Only read locks are retained (write locks are downgraded)
@@ -469,6 +529,26 @@ sim::Task<void> CallbackServer::HandleCommit(net::Message msg) {
     s_.locks().TransferLock(state->uid, retained, page);
   }
   co_await s_.Reply(msg, std::move(reply));
+}
+
+void CallbackServer::OnCrash() {
+  // The lock table was wiped with the rest of volatile state; there is
+  // nothing left to call back.
+  outstanding_callbacks_.clear();
+}
+
+void CallbackServer::OnClientReset(int client) {
+  // The client's retained locks were just bulk-released (its cache is
+  // gone); drop the pending callbacks so the lease force-release timers
+  // become no-ops.
+  for (auto it = outstanding_callbacks_.begin();
+       it != outstanding_callbacks_.end();) {
+    if (it->second == client) {
+      it = outstanding_callbacks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 sim::Task<void> CallbackServer::HandleDirtyEvict(net::Message msg) {

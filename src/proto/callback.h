@@ -65,6 +65,8 @@ class CallbackServer : public ServerProtocol {
 
 
   sim::Process Handle(net::Message msg) override;
+  void OnCrash() override;
+  void OnClientReset(int client) override;
 
  private:
   sim::Task<void> HandleRead(net::Message msg);
@@ -87,6 +89,9 @@ class CallbackServer : public ServerProtocol {
                                 lock::LockMode mode);
 
   bool retain_write_locks_;
+  /// Recovery mode: retained-lock lease length (0 = leases off). A callback
+  /// unanswered past the lease is force-released server-side.
+  sim::Ticks lease_ticks_ = 0;
   /// (page, client) pairs with an outstanding callback request.
   std::set<std::pair<db::PageId, int>> outstanding_callbacks_;
 };

@@ -82,6 +82,7 @@ sim::Task<bool> CertificationClient::UpdateObject(const workload::Step& step) {
     client::CachedPage* entry = c_.cache().Find(page);
     CCSIM_CHECK(entry != nullptr);
     entry->dirty = true;
+    c_.NoteUpdated(page);
   }
   co_await c_.ChargePageProcessing(static_cast<int>(step.write_pages.size()));
   co_return !c_.abort_flag();
@@ -176,7 +177,17 @@ sim::Task<void> CertificationServer::HandleRead(net::Message msg) {
 
 sim::Task<void> CertificationServer::HandleCommit(net::Message msg) {
   server::XactState* state = s_.FindXact(msg.xact);
-  CCSIM_CHECK(state != nullptr && !state->done);
+  CCSIM_CHECK(state != nullptr);
+  if (state->aborted || state->done) {
+    // Only reachable with fault injection: the transaction was aborted
+    // (GC, crash) while this commit was queued or in flight.
+    CCSIM_CHECK(s_.resilient());
+    net::Message reply;
+    reply.type = net::MsgType::kCommitReply;
+    reply.aborted = true;
+    co_await s_.Reply(msg, std::move(reply));
+    co_return;
+  }
   // Backward validation: all read versions must still be current.
   std::vector<db::PageId> stale;
   for (std::size_t i = 0; i < msg.read_set.size(); ++i) {
@@ -210,6 +221,16 @@ sim::Task<void> CertificationServer::HandleCommit(net::Message msg) {
   }
   net::Message reply;
   reply.type = net::MsgType::kCommitReply;
+  if (!s_.ValidateCommitForRecovery(*state, msg)) {
+    // Recovery mode: a dirty eviction never arrived (updated-set gap), so
+    // committing would lose that update. (Reads were just re-validated
+    // above, so only the coverage check can fail here.)
+    reply.aborted = true;
+    reply.pages = std::move(state->stale_pages);
+    co_await s_.AbortPipeline(*state);
+    co_await s_.Reply(msg, std::move(reply));
+    co_return;
+  }
   s_.BumpVersionsAndRecord(*state, &reply);
   // Merge the deferred updates into the database (the "update queue" of
   // paper Figure 4); they are committed data now.

@@ -20,6 +20,16 @@ sim::Task<bool> NoWaitClient::ReadObject(const workload::Step& step) {
       fetch.push_back(page);
       continue;
     }
+    if (entry->lease_until != 0 && !entry->requested_this_xact &&
+        c_.simulator().Now() > entry->lease_until) {
+      // Recovery mode: a propagated copy past its lease is no longer worth
+      // an optimistic gamble; fetch it synchronously like a miss.
+      c_.metrics().RecordLeaseExpiry();
+      c_.cache().RecordMiss();
+      entry->lease_until = 0;
+      fetch.push_back(page);
+      continue;
+    }
     c_.cache().RecordHit();
     c_.cache().Pin(page);
     if (!entry->requested_this_xact) {
@@ -29,6 +39,9 @@ sim::Task<bool> NoWaitClient::ReadObject(const workload::Step& step) {
       async_versions.push_back(entry->version);
       entry->requested_this_xact = true;
       entry->lock = client::PageLock::kShared;
+      if (c_.resilient()) {
+        read_set_[page] = entry->version;
+      }
     }
   }
   if (!async_pages.empty()) {
@@ -64,6 +77,11 @@ sim::Task<bool> NoWaitClient::ReadObject(const workload::Step& step) {
         entry->version = reply.data_versions[i];
         entry->requested_this_xact = true;
         entry->lock = client::PageLock::kShared;
+        entry->lease_until = 0;
+        c_.cache().Pin(page);
+      }
+      if (c_.resilient()) {
+        read_set_[page] = reply.data_versions[i];
       }
     }
   }
@@ -77,6 +95,7 @@ sim::Task<bool> NoWaitClient::UpdateObject(const workload::Step& step) {
     client::CachedPage* entry = c_.cache().Find(page);
     CCSIM_CHECK(entry != nullptr);
     entry->dirty = true;
+    c_.NoteUpdated(page);
     if (entry->lock != client::PageLock::kExclusive) {
       entry->lock = client::PageLock::kExclusive;
       upgrade.push_back(page);
@@ -101,6 +120,15 @@ sim::Task<bool> NoWaitClient::Commit(const workload::TransactionSpec& spec) {
   request.type = net::MsgType::kCommitRequest;
   request.xact = c_.current_xact();
   request.data_pages = c_.cache().DirtyPages();
+  if (c_.resilient()) {
+    // A fire-and-forget lock request may have been dropped, leaving a read
+    // neither locked nor validated; the commit-time backward validation
+    // over this read set is the safety net.
+    for (const auto& [page, version] : read_set_) {
+      request.read_set.push_back(page);
+      request.read_versions.push_back(version);
+    }
+  }
   net::Message reply = co_await c_.Rpc(std::move(request));
   if (reply.aborted) {
     c_.NoteAbort(c_.current_xact(), reply.pages);
@@ -114,6 +142,11 @@ sim::Task<bool> NoWaitClient::Commit(const workload::TransactionSpec& spec) {
     }
   }
   co_return true;
+}
+
+sim::Task<void> NoWaitClient::OnAttemptEnd(bool committed) {
+  read_set_.clear();
+  co_await ClientProtocol::OnAttemptEnd(committed);
 }
 
 // --- server ---
@@ -249,6 +282,19 @@ sim::Task<void> NoWaitServer::HandleCommit(net::Message msg) {
   }
   net::Message reply;
   reply.type = net::MsgType::kCommitReply;
+  if (!s_.ValidateCommitForRecovery(*state, msg)) {
+    // Recovery mode: a lost lock request left a read unvalidated and it
+    // went stale, or a dirty eviction never arrived.
+    reply.aborted = true;
+    reply.pages = std::move(state->stale_pages);
+    if (!state->aborted && !state->done) {
+      co_await s_.AbortPipeline(*state);
+    } else {
+      s_.PurgeUncommitted(state->uid);
+    }
+    co_await s_.Reply(msg, std::move(reply));
+    co_return;
+  }
   co_await s_.FinalizeCommit(*state, &reply);
   s_.locks().ReleaseAll(state->uid);
   co_await s_.Reply(msg, reply);

@@ -1,6 +1,9 @@
 #ifndef CCSIM_PROTO_NO_WAIT_H_
 #define CCSIM_PROTO_NO_WAIT_H_
 
+#include <cstdint>
+#include <unordered_map>
+
 #include "config/params.h"
 #include "proto/protocol.h"
 
@@ -16,10 +19,18 @@ class NoWaitClient : public ClientProtocol {
  public:
   explicit NoWaitClient(client::Client* client) : ClientProtocol(client) {}
 
+  sim::Task<void> OnAttemptEnd(bool committed) override;
+
  protected:
   sim::Task<bool> ReadObject(const workload::Step& step) override;
   sim::Task<bool> UpdateObject(const workload::Step& step) override;
   sim::Task<bool> Commit(const workload::TransactionSpec& spec) override;
+
+ private:
+  /// Recovery mode: version of every page at the moment this attempt first
+  /// used it. The fire-and-forget lock/validate request may be lost, so the
+  /// commit carries these for a server-side backward validation.
+  std::unordered_map<db::PageId, std::uint64_t> read_set_;
 };
 
 /// Server half of no-wait locking. With `notify` (paper §2.5), committed

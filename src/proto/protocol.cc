@@ -81,6 +81,13 @@ sim::Task<void> ClientProtocol::HandleAsync(net::Message msg) {
           continue;
         }
         entry->version = msg.data_versions[i];
+        if (c_.lease_ticks() > 0) {
+          // Recovery mode: a pushed copy is trusted for one lease only. The
+          // directory tracking this copy is volatile server state, so after
+          // a crash the refresh/invalidation that keeps it honest may never
+          // come again.
+          entry->lease_until = c_.simulator().Now() + c_.lease_ticks();
+        }
       }
       // Cost note: receiving the packets already charged MsgCost per page
       // on this client's CPU. ClientProcPage is charged only for the

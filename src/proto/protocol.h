@@ -73,6 +73,14 @@ class ServerProtocol {
   /// disks, and the CPU).
   virtual sim::Process Handle(net::Message msg) = 0;
 
+  /// Recovery mode: the server crashed; algorithm-private volatile state
+  /// (outstanding callbacks, pending invalidations, ...) is gone.
+  virtual void OnCrash() {}
+
+  /// Recovery mode: a client crash-restarted (or was garbage-collected);
+  /// drop algorithm-private state keyed to its previous life.
+  virtual void OnClientReset(int /*client*/) {}
+
  protected:
   server::Server& s_;
 };

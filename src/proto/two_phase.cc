@@ -106,6 +106,7 @@ sim::Task<bool> TwoPhaseClient::UpdateObject(const workload::Step& step) {
   }
   for (db::PageId page : step.write_pages) {
     c_.cache().Find(page)->dirty = true;
+    c_.NoteUpdated(page);
   }
   co_await c_.ChargePageProcessing(static_cast<int>(step.write_pages.size()));
   co_return !c_.abort_flag();
@@ -214,11 +215,32 @@ sim::Task<void> TwoPhaseServer::HandleUpgrade(net::Message msg) {
 
 sim::Task<void> TwoPhaseServer::HandleCommit(net::Message msg) {
   server::XactState* state = s_.FindXact(msg.xact);
-  CCSIM_CHECK(state != nullptr && !state->aborted && !state->done);
+  CCSIM_CHECK(state != nullptr);
+  if (state->aborted || state->done) {
+    // Only reachable with fault injection: the transaction was aborted
+    // (GC, crash) while this commit was queued or in flight.
+    CCSIM_CHECK(s_.resilient());
+    net::Message reply;
+    reply.type = net::MsgType::kCommitReply;
+    reply.aborted = true;
+    co_await s_.Reply(msg, std::move(reply));
+    co_return;
+  }
   co_await s_.InstallClientUpdates(*state, msg.data_pages, state->uid,
                                    /*charge_cpu=*/true);
   net::Message reply;
   reply.type = net::MsgType::kCommitReply;
+  if (!s_.ValidateCommitForRecovery(*state, msg)) {
+    reply.aborted = true;
+    reply.pages = std::move(state->stale_pages);
+    if (!state->aborted && !state->done) {
+      co_await s_.AbortPipeline(*state);
+    } else {
+      s_.PurgeUncommitted(state->uid);
+    }
+    co_await s_.Reply(msg, std::move(reply));
+    co_return;
+  }
   co_await s_.FinalizeCommit(*state, &reply);
   s_.locks().ReleaseAll(state->uid);
   co_await s_.Reply(msg, std::move(reply));

@@ -4,12 +4,14 @@
 
 #include "client/client.h"
 #include "db/database.h"
+#include "fault/fault_injector.h"
 #include "net/network.h"
 #include "proto/factory.h"
 #include "server/server.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "storage/disk.h"
+#include "util/macros.h"
 
 namespace ccsim::runner {
 namespace {
@@ -19,6 +21,14 @@ namespace {
 constexpr std::uint64_t kNetworkStream = 0x7e7;
 constexpr std::uint64_t kClientObjectStreamBase = 0x1000;
 constexpr std::uint64_t kClientDelayStreamBase = 0x20000;
+constexpr std::uint64_t kFaultStream = 0xFA17;
+
+/// Server crash-restart: the node stays unreachable until log replay ends.
+sim::Process RecoverServer(server::Server* server,
+                           fault::FaultInjector* injector) {
+  co_await server->Recover();
+  injector->SetDown(net::kServerNode, false);
+}
 
 double MeanUtilization(const std::vector<storage::Disk*>& disks,
                        sim::Ticks now) {
@@ -58,6 +68,48 @@ Result<RunResult> RunExperiment(const config::ExperimentConfig& config) {
                    kClientDelayStreamBase + static_cast<std::uint64_t>(i)));
     c->set_protocol(proto::MakeClientProtocol(config.algorithm, c.get()));
     clients.push_back(std::move(c));
+  }
+
+  // Fault injection: attach an injector only when the config asks for
+  // faults, so fault-free runs keep a null hook (and the exact calendar of
+  // a build without the fault subsystem).
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (config.fault.AnyFaults()) {
+    injector = std::make_unique<fault::FaultInjector>(
+        fault::MakePlan(config.fault), sim::Pcg32(seed, kFaultStream));
+    network.set_fault_injector(injector.get());
+    for (const config::FaultParams::CrashEvent& crash :
+         config.fault.crashes) {
+      const sim::Ticks at = sim::SecondsToTicks(crash.at_s);
+      const sim::Ticks up_at = at + sim::SecondsToTicks(crash.downtime_s);
+      if (crash.node == net::kServerNode) {
+        server::Server* srv = &server;
+        fault::FaultInjector* inj = injector.get();
+        sim::Simulator* simp = &sim;
+        sim.ScheduleAt(at, [srv, inj] {
+          inj->SetDown(net::kServerNode, true);
+          srv->Crash();
+        });
+        sim.ScheduleAt(up_at, [srv, inj, simp] {
+          simp->Spawn(RecoverServer(srv, inj));
+        });
+      } else {
+        CCSIM_CHECK(crash.node >= 0 &&
+                    crash.node < config.system.num_clients);
+        client::Client* victim = clients[static_cast<std::size_t>(
+            crash.node)].get();
+        fault::FaultInjector* inj = injector.get();
+        const int node = crash.node;
+        sim.ScheduleAt(at, [victim, inj, node] {
+          inj->SetDown(node, true);
+          victim->Crash();
+        });
+        sim.ScheduleAt(up_at, [victim, inj, node] {
+          inj->SetDown(node, false);
+          victim->Recover();
+        });
+      }
+    }
   }
 
   server.Start();
@@ -137,6 +189,24 @@ Result<RunResult> RunExperiment(const config::ExperimentConfig& config) {
     result.per_type_response.emplace_back(tally.mean(), tally.count());
   }
   result.history = metrics.history();
+  if (injector != nullptr) {
+    result.messages_dropped = injector->messages_dropped();
+    result.messages_duplicated = injector->messages_duplicated();
+    result.delay_spikes = injector->delay_spikes();
+    result.down_drops = injector->down_drops();
+  }
+  result.rpc_retries = metrics.rpc_retries();
+  result.rpc_timeouts = metrics.rpc_timeouts();
+  result.timeout_aborts = metrics.timeout_aborts();
+  result.crash_aborts = metrics.crash_aborts();
+  result.lease_expirations = metrics.lease_expirations();
+  result.duplicates_suppressed = metrics.duplicates_suppressed();
+  result.gc_xacts = metrics.gc_xacts();
+  result.client_crashes = metrics.client_crashes();
+  result.server_crashes = metrics.server_crashes();
+  result.recovery_seconds = sim::TicksToSeconds(metrics.recovery_ticks());
+  result.transactions_lost = metrics.transactions_lost();
+  result.unknown_outcomes = metrics.unknown_outcomes();
   result.final_lock_waiters = server.locks().waiter_count();
   result.final_locks_held = server.locks().held_count();
   result.final_active_xacts = server.active_transactions();

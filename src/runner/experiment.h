@@ -49,6 +49,32 @@ struct RunResult {
   /// Commit history (only when control.record_history was set).
   std::vector<Metrics::CommitRecord> history;
 
+  // Fault injection / recovery (all zero on a fault-free run).
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;
+  std::uint64_t delay_spikes = 0;
+  /// Messages discarded because their source or destination was crashed.
+  std::uint64_t down_drops = 0;
+  std::uint64_t rpc_retries = 0;
+  std::uint64_t rpc_timeouts = 0;
+  std::uint64_t timeout_aborts = 0;
+  std::uint64_t crash_aborts = 0;
+  std::uint64_t lease_expirations = 0;
+  std::uint64_t duplicates_suppressed = 0;
+  /// Server-side transactions aborted by GC (idle reaper, crashed-client
+  /// cleanup, or a client that moved on to a newer attempt).
+  std::uint64_t gc_xacts = 0;
+  std::uint64_t client_crashes = 0;
+  std::uint64_t server_crashes = 0;
+  /// Total simulated time spent in server crash recovery (log replay).
+  double recovery_seconds = 0.0;
+  /// Transaction specs abandoned without ever committing. The recovery
+  /// contract is that this stays zero: every spec is retried to commit.
+  std::uint64_t transactions_lost = 0;
+  /// Commit requests whose outcome the client never learned (it may have
+  /// committed server-side; the spec was re-run to be safe).
+  std::uint64_t unknown_outcomes = 0;
+
   // End-of-run diagnostics (stall debugging / liveness checks).
   /// True if the event calendar drained before the measurement horizon and
   /// before the commit target: the whole system stopped making progress.

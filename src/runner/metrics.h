@@ -20,6 +20,10 @@ enum class AbortKind {
   kStaleRead,
   /// Failed commit-time validation (certification).
   kCertification,
+  /// RPC retransmissions exhausted (recovery mode; lossy network).
+  kTimeout,
+  /// The client or server crashed mid-attempt (recovery mode).
+  kCrash,
 };
 
 /// Run-wide measurement collector. Transaction response times and counters
@@ -66,8 +70,48 @@ class Metrics {
       case AbortKind::kCertification:
         ++cert_aborts_;
         break;
+      case AbortKind::kTimeout:
+        ++timeout_aborts_;
+        break;
+      case AbortKind::kCrash:
+        ++crash_aborts_;
+        break;
     }
   }
+
+  // --- robustness counters (fault injection / recovery). Lifetime values,
+  // not window-reset: fault accounting spans the whole run. ---
+  void RecordRpcTimeout() { ++rpc_timeouts_; }
+  void RecordRpcRetry() { ++rpc_retries_; }
+  void RecordLeaseExpiry() { ++lease_expirations_; }
+  void RecordDuplicateSuppressed() { ++duplicates_suppressed_; }
+  void RecordGcXact() { ++gc_xacts_; }
+  void RecordClientCrash() { ++client_crashes_; }
+  void RecordServerCrash() { ++server_crashes_; }
+  void RecordRecovery(sim::Ticks duration) { recovery_ticks_ += duration; }
+  /// A transaction spec abandoned without a commit. The driver retries every
+  /// spec until it commits, so this must stay zero; it exists as the
+  /// externally-checked contract of the recovery layer.
+  void RecordLostTransaction() { ++transactions_lost_; }
+  /// Commit requests whose outcome the client never learned (retransmissions
+  /// exhausted or crash with a commit in flight). The spec is re-run, so the
+  /// transaction is not lost, but it may have executed twice.
+  void RecordUnknownOutcome() { ++unknown_outcomes_; }
+
+  std::uint64_t timeout_aborts() const { return timeout_aborts_; }
+  std::uint64_t crash_aborts() const { return crash_aborts_; }
+  std::uint64_t rpc_timeouts() const { return rpc_timeouts_; }
+  std::uint64_t rpc_retries() const { return rpc_retries_; }
+  std::uint64_t lease_expirations() const { return lease_expirations_; }
+  std::uint64_t duplicates_suppressed() const {
+    return duplicates_suppressed_;
+  }
+  std::uint64_t gc_xacts() const { return gc_xacts_; }
+  std::uint64_t client_crashes() const { return client_crashes_; }
+  std::uint64_t server_crashes() const { return server_crashes_; }
+  sim::Ticks recovery_ticks() const { return recovery_ticks_; }
+  std::uint64_t transactions_lost() const { return transactions_lost_; }
+  std::uint64_t unknown_outcomes() const { return unknown_outcomes_; }
 
   /// Mean response time over the whole run (ticks), used as the mean of the
   /// exponential restart delay. Falls back to 100 ms before any commit.
@@ -85,6 +129,7 @@ class Metrics {
     per_type_response_s_.clear();
     attempts_per_commit_.Reset();
     commits_ = aborts_ = deadlock_aborts_ = stale_aborts_ = cert_aborts_ = 0;
+    timeout_aborts_ = crash_aborts_ = 0;
     window_start_ = now;
   }
 
@@ -133,6 +178,18 @@ class Metrics {
   std::uint64_t deadlock_aborts_ = 0;
   std::uint64_t stale_aborts_ = 0;
   std::uint64_t cert_aborts_ = 0;
+  std::uint64_t timeout_aborts_ = 0;
+  std::uint64_t crash_aborts_ = 0;
+  std::uint64_t rpc_timeouts_ = 0;
+  std::uint64_t rpc_retries_ = 0;
+  std::uint64_t lease_expirations_ = 0;
+  std::uint64_t duplicates_suppressed_ = 0;
+  std::uint64_t gc_xacts_ = 0;
+  std::uint64_t client_crashes_ = 0;
+  std::uint64_t server_crashes_ = 0;
+  sim::Ticks recovery_ticks_ = 0;
+  std::uint64_t transactions_lost_ = 0;
+  std::uint64_t unknown_outcomes_ = 0;
   sim::Ticks window_start_ = 0;
   bool record_history_ = false;
   std::vector<CommitRecord> history_;

@@ -74,6 +74,30 @@ class Directory {
     return out;
   }
 
+  /// Forgets everything `client` caches (the client crashed; its previous
+  /// life's cache is gone).
+  void DropClient(int client) {
+    auto it = per_client_.find(client);
+    if (it == per_client_.end()) {
+      return;
+    }
+    std::vector<db::PageId> pages;
+    it->second.ForEach(
+        [&](const LruTable<db::PageId, Empty>::Entry& e) {
+          pages.push_back(e.key);
+        });
+    for (db::PageId page : pages) {
+      DropInternal(client, it->second, page);
+    }
+    per_client_.erase(client);
+  }
+
+  /// Forgets everything (the server crashed; the directory was volatile).
+  void Clear() {
+    per_client_.clear();
+    by_page_.clear();
+  }
+
   std::size_t page_count() const { return by_page_.size(); }
 
  private:

@@ -38,9 +38,15 @@ Server::Server(sim::Simulator* simulator,
   const sim::Ticks init_disk_cost = sim::CpuDemand(
       config.system.init_disk_cost_instr, config.system.server_mips);
 
+  resilient_ = config.fault.recovery_enabled;
+  if (resilient_) {
+    xact_idle_ticks_ = sim::MillisToTicks(config.fault.xact_idle_timeout_ms);
+  }
+
   storage::BufferPool::Params pool_params;
   pool_params.capacity_pages = config.system.server_buffer_pages;
   pool_params.init_disk_cost = init_disk_cost;
+  pool_params.allow_owner_usurp = resilient_;
   pool_ = std::make_unique<storage::BufferPool>(
       simulator, pool_params, layout, data_disks(), &cpu_);
 
@@ -84,10 +90,18 @@ void Server::set_protocol(std::unique_ptr<proto::ServerProtocol> protocol) {
 void Server::Start() {
   CCSIM_CHECK_MSG(protocol_ != nullptr, "set_protocol before Start");
   simulator_->Spawn(Dispatch());
+  if (resilient_ && xact_idle_ticks_ > 0) {
+    simulator_->Spawn(Reaper());
+  }
 }
 
 sim::Task<void> Server::Send(net::Message msg) {
   msg.src = net::kServerNode;
+  if (resilient_ && msg.request_id == 0) {
+    // Asynchronous server messages carry a sequence number so a duplicated
+    // callback/propagation/abort-notice is processed once at the client.
+    msg.seq = next_seq_++;
+  }
   co_await network_->Send(std::move(msg));
 }
 
@@ -97,6 +111,23 @@ sim::Task<void> Server::Reply(const net::Message& request,
   reply.dst = request.src;
   reply.xact = request.xact;
   reply.request_id = request.request_id;
+  if (resilient_ && request.request_id != 0 &&
+      request.src != net::kServerNode) {
+    // At-most-once bookkeeping: the request is no longer in progress, and
+    // the reply is cached so a retransmit gets the same answer instead of
+    // re-running the handler.
+    constexpr std::size_t kReplyCacheSize = 8;
+    ClientChannel& channel = channels_[request.src];
+    channel.in_progress.erase(request.request_id);
+    channel.replies.emplace_back(request.request_id, reply);
+    if (channel.replies.size() > kReplyCacheSize) {
+      channel.replies.pop_front();
+    }
+  }
+  co_await network_->Send(std::move(reply));
+}
+
+sim::Process Server::ResendReply(net::Message reply) {
   co_await network_->Send(std::move(reply));
 }
 
@@ -171,9 +202,64 @@ sim::Process Server::ReplyAbortedTo(net::Message request) {
   co_await Reply(request, std::move(reply));
 }
 
+bool Server::FilterDelivery(const net::Message& msg) {
+  if (msg.src == net::kServerNode) {
+    return true;
+  }
+  {
+    ClientChannel& channel = channels_[msg.src];
+    if (msg.incarnation != 0) {
+      if (msg.incarnation < channel.incarnation) {
+        return false;  // straggler from a life that already ended
+      }
+      if (msg.incarnation > channel.incarnation) {
+        if (channel.incarnation != 0) {
+          // First sign of a crash-restart: everything the previous life
+          // owned (cached copies, retained locks, a live transaction) is
+          // garbage now. Invalidates `channel`.
+          GcCrashedClient(msg.src);
+        }
+        channels_[msg.src].incarnation = msg.incarnation;
+      }
+    }
+  }
+  ClientChannel& channel = channels_[msg.src];
+  if (IsSynchronous(msg.type)) {
+    if (channel.in_progress.count(msg.request_id) > 0) {
+      metrics_->RecordDuplicateSuppressed();
+      return false;  // retransmit of a request still being handled
+    }
+    for (const auto& [request_id, reply] : channel.replies) {
+      if (request_id == msg.request_id) {
+        metrics_->RecordDuplicateSuppressed();
+        simulator_->Spawn(ResendReply(reply));
+        return false;  // retransmit of an answered request: same reply
+      }
+    }
+    channel.in_progress.insert(msg.request_id);
+    return true;
+  }
+  if (msg.seq != 0) {
+    constexpr std::size_t kSeenSeqWindow = 4096;
+    if (!channel.seen_seq.insert(msg.seq).second) {
+      metrics_->RecordDuplicateSuppressed();
+      return false;  // duplicated asynchronous message
+    }
+    channel.seen_order.push_back(msg.seq);
+    if (channel.seen_order.size() > kSeenSeqWindow) {
+      channel.seen_seq.erase(channel.seen_order.front());
+      channel.seen_order.pop_front();
+    }
+  }
+  return true;
+}
+
 sim::Process Server::Dispatch() {
   while (true) {
     net::Message msg = co_await inbox_.Receive();
+    if (resilient_ && !FilterDelivery(msg)) {
+      continue;
+    }
     if (IsStale(msg)) {
       // A request from an attempt the server already finished (e.g. the
       // client was aborted asynchronously while this was in flight).
@@ -182,6 +268,14 @@ sim::Process Server::Dispatch() {
       }
       continue;
     }
+    if (resilient_ && msg.xact != 0 && msg.src != net::kServerNode) {
+      const std::uint64_t current = ActiveXactOfClient(msg.src);
+      if (current != 0 && current < msg.xact) {
+        // The client moved on to a newer attempt (it gave up on an RPC);
+        // whatever the old one holds must not linger.
+        simulator_->Spawn(GcAbortXact(current));
+      }
+    }
     if (IsTransactional(msg.type) && FindXact(msg.xact) == nullptr) {
       if (static_cast<int>(active_.size()) >= config_.system.mpl) {
         // MPL reached: the new transaction waits in the ready queue.
@@ -189,6 +283,11 @@ sim::Process Server::Dispatch() {
         continue;
       }
       Admit(msg);
+    }
+    if (resilient_) {
+      if (XactState* state = FindXact(msg.xact)) {
+        state->last_activity = simulator_->Now();
+      }
     }
     simulator_->Spawn(protocol_->Handle(std::move(msg)));
   }
@@ -254,6 +353,9 @@ sim::Task<void> Server::InstallClientUpdates(
 }
 
 void Server::BumpVersionsAndRecord(XactState& state, net::Message* reply) {
+  // This is the commit point: from here on, garbage collection must leave
+  // the transaction alone even though done is not yet set.
+  state.committing = true;
   // Serializability oracle: every version this transaction read must still
   // be current at commit. This holds for every correct algorithm in the
   // study (locks are held / validation just passed); a violation is a
@@ -285,6 +387,7 @@ void Server::BumpVersionsAndRecord(XactState& state, net::Message* reply) {
 }
 
 sim::Task<void> Server::CommitTail(XactState& state) {
+  state.committing = true;
   pool_->CommitTransaction(state.uid);
   co_await log_->ForceCommit(static_cast<int>(state.updated.size()));
   MarkDone(state);
@@ -316,6 +419,134 @@ void Server::MarkDone(XactState& state) {
   std::uint64_t& last = last_finished_[state.client];
   last = std::max(last, state.uid);
   PumpReady();
+}
+
+bool Server::ValidateCommitForRecovery(XactState& state,
+                                       const net::Message& request) {
+  if (!resilient_) {
+    return true;
+  }
+  if (state.aborted || state.done) {
+    return false;  // GC or a crash already killed this transaction
+  }
+  bool ok = true;
+  for (std::size_t i = 0; i < request.read_set.size(); ++i) {
+    if (versions_.Get(request.read_set[i]) != request.read_versions[i]) {
+      state.stale_pages.push_back(request.read_set[i]);
+      ok = false;
+    }
+  }
+  if (!ok) {
+    return false;  // a read premise no longer holds (e.g. a lease expired)
+  }
+  for (db::PageId page : request.updated_set) {
+    if (state.updated.count(page) == 0) {
+      return false;  // an updated page's image never arrived (lost evict)
+    }
+  }
+  // The (re)validated reads join the serializability oracle; the caller
+  // commits without another co_await, so currency cannot decay in between.
+  for (std::size_t i = 0; i < request.read_set.size(); ++i) {
+    state.read_versions[request.read_set[i]] = request.read_versions[i];
+  }
+  return true;
+}
+
+sim::Process Server::GcAbortXact(std::uint64_t uid) {
+  XactState* state = FindXact(uid);
+  if (state == nullptr || state->done || state->aborted ||
+      state->committing) {
+    co_return;  // already finished, finishing, or past the commit point
+  }
+  metrics_->RecordGcXact();
+  const int client = state->client;
+  co_await AbortPipeline(*state);
+  net::Message notice;
+  notice.type = net::MsgType::kAbortNotice;
+  notice.dst = client;
+  notice.xact = uid;
+  co_await Send(std::move(notice));
+}
+
+void Server::GcCrashedClient(int client) {
+  metrics_->RecordGcXact();
+  directory_.DropClient(client);
+  locks_.ReleaseAll(lock::RetainedOwner(client));
+  protocol_->OnClientReset(client);
+  const std::uint64_t current = ActiveXactOfClient(client);
+  if (current != 0) {
+    simulator_->Spawn(GcAbortXact(current));
+  }
+  channels_.erase(client);
+}
+
+sim::Process Server::Reaper() {
+  while (true) {
+    co_await simulator_->Delay(xact_idle_ticks_ / 2);
+    if (down_) {
+      continue;
+    }
+    std::vector<std::uint64_t> victims;
+    for (std::uint64_t uid : active_) {
+      const XactState* state = FindXact(uid);
+      if (state == nullptr || state->done || state->aborted ||
+          state->committing) {
+        continue;
+      }
+      if (simulator_->Now() - state->last_activity < xact_idle_ticks_) {
+        continue;
+      }
+      // Quiet but legitimately parked transactions are not idle: a lock
+      // queue or an unresolved asynchronous request will make progress.
+      if (locks_.IsWaiting(uid) || state->pending_async > 0) {
+        continue;
+      }
+      victims.push_back(uid);
+    }
+    for (std::uint64_t uid : victims) {
+      simulator_->Spawn(GcAbortXact(uid));
+    }
+  }
+}
+
+void Server::Crash() {
+  if (down_) {
+    return;
+  }
+  down_ = true;
+  crash_began_ = simulator_->Now();
+  metrics_->RecordServerCrash();
+  // Every active transaction dies with the server's volatile state. The
+  // client-side abort arrives implicitly: its RPCs time out. Advancing
+  // last_finished_ makes any straggler/retransmit of these attempts stale.
+  for (std::uint64_t uid : active_) {
+    XactState* state = FindXact(uid);
+    if (state == nullptr) {
+      continue;
+    }
+    if (!state->done && !state->committing) {
+      state->aborted = true;
+    }
+    std::uint64_t& last = last_finished_[state->client];
+    last = std::max(last, uid);
+  }
+  active_.clear();
+  active_by_client_.clear();
+  ready_.clear();
+  channels_.clear();
+  inbox_.Clear();
+  locks_.Reset();
+  redo_pages_at_crash_ = pool_->CrashReset();
+  directory_.Clear();
+  protocol_->OnCrash();
+}
+
+sim::Task<void> Server::Recover() {
+  CCSIM_CHECK(down_);
+  co_await log_->ReplayRecovery(redo_pages_at_crash_);
+  redo_pages_at_crash_ = 0;
+  down_ = false;
+  metrics_->RecordRecovery(simulator_->Now() - crash_began_);
 }
 
 }  // namespace ccsim::server

@@ -52,6 +52,13 @@ struct XactState {
   /// certification's server-side private buffer, and no-wait dirty
   /// evictions whose X lock is still pending.
   std::unordered_set<db::PageId> deferred;
+  /// Recovery mode: when the server last heard from this transaction
+  /// (stamped at dispatch; the idle reaper aborts transactions whose
+  /// client went silent without a crash notification).
+  sim::Ticks last_activity = 0;
+  /// The commit point was passed (versions about to be / being bumped);
+  /// garbage collection must not abort the transaction any more.
+  bool committing = false;
 };
 
 /// The database server (paper §3.3.4): CPU(s), data and log disks, buffer
@@ -146,6 +153,38 @@ class Server {
   /// Server ServerProcPage cost in ticks.
   sim::Ticks page_processing_cost() const { return server_proc_page_ticks_; }
 
+  // --- failure recovery (fault-injection runs only) ---
+
+  /// True when the recovery layer (dedup, GC, reaper, revalidation) is on.
+  bool resilient() const { return resilient_; }
+  /// True while the server is crashed (between Crash and Recover).
+  bool down() const { return down_; }
+  /// Kills the server: volatile state (active transactions, lock table,
+  /// buffer pool, caching directory, reply caches, queued messages) is
+  /// lost. The version table stands in for the durable database: commits
+  /// are forced to the log, so committed versions survive.
+  void Crash();
+  /// Restart: replays the log (redoing committed updates lost from the
+  /// buffer pool), then reopens for business. The caller keeps the network
+  /// endpoint down until this completes.
+  sim::Task<void> Recover();
+
+  /// Commit-time safety net for recovery mode. With faults injected, a
+  /// commit can arrive whose premises no longer hold (the transaction was
+  /// GC-aborted or died in a crash; a lease force-release let a rival
+  /// update a page the client read locally; a dirty eviction was lost).
+  /// Returns false — after recording stale pages — when the commit must be
+  /// refused; on success the request's read set joins the serializability
+  /// oracle. Call with no co_await between this and FinalizeCommit.
+  /// Always true when the recovery layer is off.
+  bool ValidateCommitForRecovery(XactState& state,
+                                 const net::Message& request);
+
+  /// Drops a transaction's uncommitted buffer-pool marks without the abort
+  /// pipeline. For zombie handlers whose transaction was already aborted
+  /// (by GC or a crash) but that installed pages before noticing.
+  void PurgeUncommitted(std::uint64_t uid) { pool_->AbortTransaction(uid); }
+
   /// Bernoulli draw with the database ClusterFactor (sequential-read
   /// modeling).
   bool DrawClustered() {
@@ -168,6 +207,19 @@ class Server {
   std::size_t ready_queue_length() const { return ready_.size(); }
 
  private:
+  /// Per-client delivery state for at-most-once RPC semantics and
+  /// crash-incarnation tracking (recovery mode only).
+  struct ClientChannel {
+    std::uint32_t incarnation = 0;
+    /// Synchronous requests currently being handled (retransmits dropped).
+    std::unordered_set<std::uint64_t> in_progress;
+    /// Recent replies by request id, resent verbatim on a retransmit.
+    std::deque<std::pair<std::uint64_t, net::Message>> replies;
+    /// Sliding window of asynchronous sequence numbers already accepted.
+    std::unordered_set<std::uint64_t> seen_seq;
+    std::deque<std::uint64_t> seen_order;
+  };
+
   sim::Process Dispatch();
   sim::Process ReplyAbortedTo(net::Message request);
   void PumpReady();
@@ -175,6 +227,17 @@ class Server {
   static bool IsSynchronous(net::MsgType type);
   static bool IsTransactional(net::MsgType type);
   void Admit(const net::Message& msg);
+  /// Recovery-mode admission filter: incarnation GC, request dedup/replay,
+  /// async dedup. Returns false when the message must be dropped.
+  bool FilterDelivery(const net::Message& msg);
+  sim::Process ResendReply(net::Message reply);
+  /// Aborts a live transaction the client has abandoned (newer attempt
+  /// seen, idle timeout, or client crash) and notifies the client.
+  sim::Process GcAbortXact(std::uint64_t uid);
+  /// Discards everything owned by a crashed client's previous life.
+  void GcCrashedClient(int client);
+  /// Periodically aborts transactions whose client went silent.
+  sim::Process Reaper();
 
   sim::Simulator* simulator_;
   const config::ExperimentConfig& config_;
@@ -201,6 +264,15 @@ class Server {
   std::unordered_map<int, std::uint64_t> active_by_client_;
   std::unordered_map<int, std::uint64_t> last_finished_;
   std::deque<net::Message> ready_;
+
+  // --- recovery-mode state (inert when resilient_ is false) ---
+  bool resilient_ = false;
+  sim::Ticks xact_idle_ticks_ = 0;
+  bool down_ = false;
+  sim::Ticks crash_began_ = 0;
+  int redo_pages_at_crash_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::unordered_map<int, ClientChannel> channels_;
 };
 
 }  // namespace ccsim::server

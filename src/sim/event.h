@@ -146,6 +146,10 @@ class Mailbox {
     return Awaiter{this};
   }
 
+  /// Discards all queued items (crash modeling: messages in a dead node's
+  /// queue are lost). Waiting receivers stay parked.
+  void Clear() { items_.clear(); }
+
   std::size_t size() const { return items_.size(); }
   bool empty() const { return items_.empty(); }
 

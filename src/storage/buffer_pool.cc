@@ -110,9 +110,17 @@ sim::Task<void> BufferPool::InstallPage(db::PageId page, std::uint64_t xact) {
       pool_changed_.Signal();
     }
   }
-  CCSIM_CHECK_MSG(frame->uncommitted_owner == kCommitted ||
-                      frame->uncommitted_owner == xact,
-                  "page %d has another uncommitted owner", page);
+  if (frame->uncommitted_owner != kCommitted &&
+      frame->uncommitted_owner != xact) {
+    CCSIM_CHECK_MSG(params_.allow_owner_usurp,
+                    "page %d has another uncommitted owner", page);
+    // The previous owner died with a server crash; its image is garbage
+    // and the frame passes to the installer.
+    auto it = dirty_by_xact_.find(frame->uncommitted_owner);
+    if (it != dirty_by_xact_.end()) {
+      it->second.erase(page);
+    }
+  }
   frame->dirty = true;
   frame->uncommitted_owner = xact;
   if (xact != kCommitted) {
@@ -154,6 +162,22 @@ std::vector<db::PageId> BufferPool::AbortTransaction(std::uint64_t xact) {
     dirty_by_xact_.erase(dirty_it);
   }
   return flushed;
+}
+
+int BufferPool::CrashReset() {
+  int redo_pages = 0;
+  frames_.ForEach([&](const LruTable<db::PageId, Frame>::Entry& e) {
+    if (e.value.dirty && e.value.uncommitted_owner == kCommitted) {
+      ++redo_pages;
+    }
+  });
+  frames_.Clear();
+  dirty_by_xact_.clear();
+  flushed_by_xact_.clear();
+  // In-flight fetches (loading_) finish as zombies and clean up after
+  // themselves; MakeRoom waiters see an empty pool and proceed.
+  pool_changed_.Signal();
+  return redo_pages;
 }
 
 }  // namespace ccsim::storage

@@ -36,6 +36,11 @@ class BufferPool {
     int capacity_pages = 400;
     /// InitDiskCost in ticks, charged on the server CPU per disk access.
     sim::Ticks init_disk_cost = 0;
+    /// Recovery mode: after a server crash, a zombie handler of a dead
+    /// transaction may still install pages that a post-restart transaction
+    /// has since taken over. With this set, the newer owner usurps the
+    /// frame instead of tripping the single-uncommitted-owner invariant.
+    bool allow_owner_usurp = false;
   };
 
   /// Uncommitted-owner value meaning "no uncommitted owner".
@@ -68,6 +73,11 @@ class BufferPool {
   /// disk (they need undo I/O) and reverts the transaction's in-pool pages
   /// to committed-dirty (in-memory undo).
   std::vector<db::PageId> AbortTransaction(std::uint64_t xact);
+
+  /// Server-crash modeling: volatile pool contents vanish. Returns the
+  /// number of committed-dirty frames lost — committed updates that had not
+  /// reached the data disks and must be redone from the log at restart.
+  int CrashReset();
 
   bool Resident(db::PageId page) const { return frames_.Contains(page); }
   std::size_t size() const { return frames_.size(); }

@@ -42,4 +42,27 @@ sim::Task<void> LogManager::ProcessAbort(
   }
 }
 
+sim::Task<void> LogManager::ReplayRecovery(int redo_pages) {
+  if (!params_.enabled) {
+    co_return;
+  }
+  CCSIM_CHECK(!log_disks_.empty());
+  // Scan the log tail: one sequential read per log disk (commit records
+  // were striped round-robin across them).
+  for (Disk* log_disk : log_disks_) {
+    co_await server_cpu_->Use(params_.init_disk_cost);
+    co_await log_disk->Append(/*blocks=*/1);
+  }
+  // Redo each lost committed-dirty page in place. Which data disk each
+  // page lived on is not tracked here, so spread the writes round-robin —
+  // the cost model only needs the aggregate I/O.
+  for (int i = 0; i < redo_pages; ++i) {
+    Disk* data_disk = data_disks_[static_cast<std::size_t>(i) %
+                                  data_disks_.size()];
+    ++redo_page_ios_;
+    co_await server_cpu_->Use(params_.init_disk_cost);
+    co_await data_disk->Access(/*sequential=*/false);
+  }
+}
+
 }  // namespace ccsim::storage

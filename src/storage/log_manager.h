@@ -45,8 +45,17 @@ class LogManager {
   /// page, on the page's data disk).
   sim::Task<void> ProcessAbort(const std::vector<db::PageId>& flushed_pages);
 
+  /// Restart recovery after a server crash: scans the log (one sequential
+  /// read per log disk) and redoes the `redo_pages` committed updates that
+  /// were lost from the volatile buffer pool (one data-disk write each;
+  /// committed pages whose images had already been evicted to disk need no
+  /// redo and are not counted). The log survives the crash — commits were
+  /// forced — so no committed work is lost.
+  sim::Task<void> ReplayRecovery(int redo_pages);
+
   std::uint64_t commits_logged() const { return commits_logged_; }
   std::uint64_t undo_page_ios() const { return undo_page_ios_; }
+  std::uint64_t redo_page_ios() const { return redo_page_ios_; }
   void ResetStats() {
     commits_logged_ = 0;
     undo_page_ios_ = 0;
@@ -61,6 +70,7 @@ class LogManager {
   std::size_t next_log_disk_ = 0;
   std::uint64_t commits_logged_ = 0;
   std::uint64_t undo_page_ios_ = 0;
+  std::uint64_t redo_page_ios_ = 0;
 };
 
 }  // namespace ccsim::storage

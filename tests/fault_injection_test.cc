@@ -1,0 +1,200 @@
+// Chaos tests (ctest label "chaos"): run every consistency algorithm on a
+// lossy, duplicating, delay-spiking network — plus scheduled client and
+// server crashes — with a fixed seed, and assert the recovery layer keeps
+// the system live and serializable. The commit-time serializability oracle
+// (a CCSIM_CHECK inside the server) makes any protocol bug fatal, and the
+// independent version-chain replay below re-checks the committed history.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "config/params.h"
+#include "net/message.h"
+#include "runner/experiment.h"
+
+namespace ccsim {
+namespace {
+
+using config::Algorithm;
+using config::CachingMode;
+using config::ExperimentConfig;
+using runner::RunExperiment;
+using runner::RunResult;
+
+/// A contended 8-client workload, sized so each run finishes in seconds.
+ExperimentConfig ChaosBaseConfig(Algorithm algorithm, CachingMode mode) {
+  ExperimentConfig cfg = config::BaseConfig();
+  cfg.system.num_clients = 8;
+  cfg.transaction.prob_write = 0.2;
+  cfg.transaction.inter_xact_loc = 0.25;
+  cfg.algorithm.algorithm = algorithm;
+  cfg.algorithm.caching = mode;
+  cfg.control.seed = 7;
+  cfg.control.warmup_seconds = 5;
+  cfg.control.target_commits = 300;
+  cfg.control.max_measure_seconds = 300;
+  cfg.control.record_history = true;
+  return cfg;
+}
+
+/// Adds the message-level fault cocktail and switches the recovery layer on.
+void AddLossyNetwork(ExperimentConfig& cfg) {
+  cfg.fault.drop_probability = 0.05;
+  cfg.fault.duplicate_probability = 0.02;
+  cfg.fault.delay_spike_probability = 0.05;
+  cfg.fault.delay_spike_ms = 20.0;
+  cfg.fault.recovery_enabled = true;
+}
+
+/// Independent replay of the commit history: along each page's version
+/// chain, versions must increase by exactly one per writer. Holds even with
+/// faults injected — recovery must never let a lost message skip or repeat
+/// a version.
+void ExpectDenseVersionChains(const RunResult& r) {
+  std::map<db::PageId, std::uint64_t> last_version;
+  std::uint64_t writes = 0;
+  for (const auto& record : r.history) {
+    for (const auto& [page, version] : record.writes) {
+      auto [it, inserted] = last_version.emplace(page, 1);
+      EXPECT_EQ(version, it->second + 1)
+          << "page " << page << " version chain broken";
+      it->second = version;
+      ++writes;
+    }
+  }
+  EXPECT_GT(writes, 0u);
+}
+
+class ChaosSweep
+    : public ::testing::TestWithParam<std::tuple<Algorithm, CachingMode>> {};
+
+TEST_P(ChaosSweep, SurvivesLossyNetworkSerializably) {
+  const auto [algorithm, mode] = GetParam();
+  ExperimentConfig cfg = ChaosBaseConfig(algorithm, mode);
+  AddLossyNetwork(cfg);
+  Result<RunResult> result = RunExperiment(cfg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const RunResult& r = result.ValueOrDie();
+  // Liveness: 5% drop must not hang any protocol.
+  EXPECT_FALSE(r.stalled);
+  EXPECT_GE(r.commits, cfg.control.target_commits);
+  // The recovery contract: every transaction spec is retried to commit.
+  EXPECT_EQ(r.transactions_lost, 0u);
+  // The faults really happened and the survival machinery really ran.
+  EXPECT_GT(r.messages_dropped, 0u);
+  EXPECT_GT(r.messages_duplicated, 0u);
+  EXPECT_GT(r.rpc_retries, 0u);
+  ExpectDenseVersionChains(r);
+}
+
+std::string ChaosName(
+    const ::testing::TestParamInfo<ChaosSweep::ParamType>& info) {
+  const auto [algorithm, mode] = info.param;
+  std::string name = config::AlgorithmLabel(algorithm, mode);
+  for (char& ch : name) {
+    if (!std::isalnum(static_cast<unsigned char>(ch))) {
+      ch = '_';
+    }
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, ChaosSweep,
+    ::testing::Values(
+        std::make_tuple(Algorithm::kTwoPhaseLocking,
+                        CachingMode::kInterTransaction),
+        std::make_tuple(Algorithm::kCertification,
+                        CachingMode::kInterTransaction),
+        std::make_tuple(Algorithm::kCallbackLocking,
+                        CachingMode::kInterTransaction),
+        std::make_tuple(Algorithm::kNoWaitLocking,
+                        CachingMode::kInterTransaction),
+        std::make_tuple(Algorithm::kNoWaitNotify,
+                        CachingMode::kInterTransaction)),
+    ChaosName);
+
+TEST(FaultInjectionTest, DeterministicUnderFaults) {
+  // The whole fault sequence is drawn from a dedicated seeded stream, so a
+  // faulty run replays exactly.
+  ExperimentConfig cfg = ChaosBaseConfig(Algorithm::kCallbackLocking,
+                                         CachingMode::kInterTransaction);
+  AddLossyNetwork(cfg);
+  const RunResult a = RunExperiment(cfg).ValueOrDie();
+  const RunResult b = RunExperiment(cfg).ValueOrDie();
+  EXPECT_EQ(a.commits, b.commits);
+  EXPECT_EQ(a.aborts, b.aborts);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.messages_dropped, b.messages_dropped);
+  EXPECT_EQ(a.messages_duplicated, b.messages_duplicated);
+  EXPECT_EQ(a.rpc_retries, b.rpc_retries);
+  EXPECT_DOUBLE_EQ(a.mean_response_s, b.mean_response_s);
+}
+
+TEST(FaultInjectionTest, FaultFreeRunReportsZeroFaultMetrics) {
+  // With a default FaultParams no injector is attached at all, and every
+  // robustness counter stays zero.
+  const ExperimentConfig cfg = ChaosBaseConfig(
+      Algorithm::kTwoPhaseLocking, CachingMode::kInterTransaction);
+  const RunResult r = RunExperiment(cfg).ValueOrDie();
+  EXPECT_FALSE(r.stalled);
+  EXPECT_GE(r.commits, cfg.control.target_commits);
+  EXPECT_EQ(r.messages_dropped, 0u);
+  EXPECT_EQ(r.messages_duplicated, 0u);
+  EXPECT_EQ(r.delay_spikes, 0u);
+  EXPECT_EQ(r.down_drops, 0u);
+  EXPECT_EQ(r.rpc_retries, 0u);
+  EXPECT_EQ(r.rpc_timeouts, 0u);
+  EXPECT_EQ(r.timeout_aborts, 0u);
+  EXPECT_EQ(r.crash_aborts, 0u);
+  EXPECT_EQ(r.lease_expirations, 0u);
+  EXPECT_EQ(r.duplicates_suppressed, 0u);
+  EXPECT_EQ(r.gc_xacts, 0u);
+  EXPECT_EQ(r.client_crashes, 0u);
+  EXPECT_EQ(r.server_crashes, 0u);
+  EXPECT_EQ(r.recovery_seconds, 0.0);
+  EXPECT_EQ(r.transactions_lost, 0u);
+  EXPECT_EQ(r.unknown_outcomes, 0u);
+}
+
+TEST(FaultInjectionTest, ClientCrashesAreSurvived) {
+  ExperimentConfig cfg = ChaosBaseConfig(Algorithm::kTwoPhaseLocking,
+                                         CachingMode::kInterTransaction);
+  cfg.fault.recovery_enabled = true;
+  cfg.fault.crashes.push_back({/*node=*/3, /*at_s=*/10.0, /*downtime_s=*/2.0});
+  cfg.fault.crashes.push_back({/*node=*/5, /*at_s=*/18.0, /*downtime_s=*/3.0});
+  Result<RunResult> result = RunExperiment(cfg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const RunResult& r = result.ValueOrDie();
+  EXPECT_FALSE(r.stalled);
+  EXPECT_GE(r.commits, cfg.control.target_commits);
+  EXPECT_EQ(r.client_crashes, 2u);
+  EXPECT_EQ(r.server_crashes, 0u);
+  EXPECT_EQ(r.transactions_lost, 0u);
+  ExpectDenseVersionChains(r);
+}
+
+TEST(FaultInjectionTest, ServerCrashIsRecovered) {
+  // Callback locking carries the most server-side volatile state (retained
+  // locks, the copy directory), making it the strongest restart test.
+  ExperimentConfig cfg = ChaosBaseConfig(Algorithm::kCallbackLocking,
+                                         CachingMode::kInterTransaction);
+  cfg.fault.recovery_enabled = true;
+  cfg.fault.crashes.push_back(
+      {/*node=*/net::kServerNode, /*at_s=*/10.0, /*downtime_s=*/1.0});
+  Result<RunResult> result = RunExperiment(cfg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const RunResult& r = result.ValueOrDie();
+  EXPECT_FALSE(r.stalled);
+  EXPECT_GE(r.commits, cfg.control.target_commits);
+  EXPECT_EQ(r.server_crashes, 1u);
+  EXPECT_GT(r.recovery_seconds, 0.0);
+  EXPECT_EQ(r.transactions_lost, 0u);
+  ExpectDenseVersionChains(r);
+}
+
+}  // namespace
+}  // namespace ccsim

@@ -6,6 +6,8 @@
 
 #include <vector>
 
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
 #include "net/message.h"
 #include "net/network.h"
 #include "sim/process.h"
@@ -156,6 +158,137 @@ TEST_F(NetworkTest, ZeroDelayNetworkSkipsMedium) {
   ASSERT_EQ(arrivals.size(), 1u);
   EXPECT_EQ(arrivals[0].second, 0);  // free messaging: same-instant delivery
   EXPECT_EQ(net.medium().completions(), 0u);
+}
+
+// --- Fault-injection hook -------------------------------------------------
+
+Message ClientToServer(std::uint64_t xact) {
+  Message msg;
+  msg.type = MsgType::kReadRequest;
+  msg.src = 0;
+  msg.dst = kServerNode;
+  msg.xact = xact;
+  return msg;
+}
+
+TEST_F(NetworkTest, ZeroPlanInjectorIsInert) {
+  // The regression contract: an injector built from FaultPlan{} must behave
+  // exactly like no injector at all.
+  fault::FaultInjector injector(fault::FaultPlan{}, sim::Pcg32(1, 2));
+  net_.set_fault_injector(&injector);
+  std::vector<std::pair<std::uint64_t, sim::Ticks>> arrivals;
+  sim_.Spawn(ReceiveOne(sim_, server_inbox_, arrivals, 3));
+  std::vector<sim::Ticks> sent_at(3, 0);
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    sim_.Spawn(SendOne(sim_, net_, ClientToServer(i), sent_at[i - 1]));
+  }
+  sim_.Run(sim::SecondsToTicks(1));
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(injector.messages_dropped(), 0u);
+  EXPECT_EQ(injector.messages_duplicated(), 0u);
+  EXPECT_EQ(injector.delay_spikes(), 0u);
+  EXPECT_EQ(injector.down_drops(), 0u);
+
+  // Same traffic through an identical network with no injector arrives at
+  // the same instants: the null plan consumes no variates.
+  sim::Simulator sim2;
+  Network net2(&sim2, sim::MillisToTicks(2), sim::Pcg32(1, 1));
+  sim::Resource cpu_a(&sim2, "client.cpu", 1);
+  sim::Resource cpu_b(&sim2, "server.cpu", 1);
+  sim::Mailbox<Message> inbox_a(&sim2);
+  sim::Mailbox<Message> inbox_b(&sim2);
+  net2.RegisterEndpoint(0, Network::Endpoint{&inbox_a, &cpu_a, 5000});
+  net2.RegisterEndpoint(kServerNode,
+                        Network::Endpoint{&inbox_b, &cpu_b, 2500});
+  std::vector<std::pair<std::uint64_t, sim::Ticks>> arrivals2;
+  sim2.Spawn(ReceiveOne(sim2, inbox_b, arrivals2, 3));
+  std::vector<sim::Ticks> sent_at2(3, 0);
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    sim2.Spawn(SendOne(sim2, net2, ClientToServer(i), sent_at2[i - 1]));
+  }
+  sim2.Run(sim::SecondsToTicks(1));
+  ASSERT_EQ(arrivals2.size(), 3u);
+  EXPECT_EQ(arrivals, arrivals2);
+  EXPECT_EQ(sent_at, sent_at2);
+}
+
+TEST_F(NetworkTest, CertainDropDeliversNothing) {
+  fault::FaultPlan plan;
+  plan.link.drop = 1.0;
+  fault::FaultInjector injector(std::move(plan), sim::Pcg32(1, 2));
+  net_.set_fault_injector(&injector);
+  std::vector<std::pair<std::uint64_t, sim::Ticks>> arrivals;
+  sim_.Spawn(ReceiveOne(sim_, server_inbox_, arrivals, 1));
+  sim::Ticks sent_at = 0;
+  sim_.Spawn(SendOne(sim_, net_, ClientToServer(1), sent_at));
+  sim_.Run(sim::SecondsToTicks(1));
+  EXPECT_TRUE(arrivals.empty());
+  // The sender still paid its CPU cost: drops happen in transit, not at the
+  // API boundary.
+  EXPECT_EQ(sent_at, 5000);
+  EXPECT_EQ(injector.messages_dropped(), 1u);
+  EXPECT_EQ(net_.messages_sent(), 1u);
+}
+
+TEST_F(NetworkTest, CertainDuplicateDeliversTwice) {
+  fault::FaultPlan plan;
+  plan.link.duplicate = 1.0;
+  fault::FaultInjector injector(std::move(plan), sim::Pcg32(1, 2));
+  net_.set_fault_injector(&injector);
+  std::vector<std::pair<std::uint64_t, sim::Ticks>> arrivals;
+  sim_.Spawn(ReceiveOne(sim_, server_inbox_, arrivals, 2));
+  sim::Ticks sent_at = 0;
+  sim_.Spawn(SendOne(sim_, net_, ClientToServer(7), sent_at));
+  sim_.Run(sim::SecondsToTicks(1));
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0].first, 7u);
+  EXPECT_EQ(arrivals[1].first, 7u);
+  EXPECT_EQ(injector.messages_duplicated(), 1u);
+}
+
+TEST_F(NetworkTest, DownDestinationDropsInFlight) {
+  fault::FaultInjector injector(fault::FaultPlan{}, sim::Pcg32(1, 2));
+  net_.set_fault_injector(&injector);
+  injector.SetDown(kServerNode, true);
+  std::vector<std::pair<std::uint64_t, sim::Ticks>> arrivals;
+  sim_.Spawn(ReceiveOne(sim_, server_inbox_, arrivals, 1));
+  sim::Ticks sent_at = 0;
+  sim_.Spawn(SendOne(sim_, net_, ClientToServer(1), sent_at));
+  sim_.Run(sim::SecondsToTicks(1));
+  EXPECT_TRUE(arrivals.empty());
+  EXPECT_EQ(injector.down_drops(), 1u);
+
+  // After the node comes back up, traffic flows again.
+  injector.SetDown(kServerNode, false);
+  sim_.Spawn(SendOne(sim_, net_, ClientToServer(2), sent_at));
+  sim_.Run(sim::SecondsToTicks(2));
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_EQ(arrivals[0].first, 2u);
+}
+
+TEST_F(NetworkTest, ResetStatsClearsInjectorCounters) {
+  fault::FaultPlan plan;
+  plan.link.drop = 1.0;
+  fault::FaultInjector injector(std::move(plan), sim::Pcg32(1, 2));
+  net_.set_fault_injector(&injector);
+  sim::Ticks sent_at = 0;
+  sim_.Spawn(SendOne(sim_, net_, ClientToServer(1), sent_at));
+  sim_.Run(sim::SecondsToTicks(1));
+  EXPECT_EQ(injector.messages_dropped(), 1u);
+  net_.ResetStats(sim_.Now());
+  EXPECT_EQ(injector.messages_dropped(), 0u);
+  EXPECT_EQ(net_.messages_sent(), 0u);
+}
+
+TEST(NetworkDeathTest, DoubleEndpointRegistrationAsserts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  sim::Simulator sim;
+  Network net(&sim, sim::MillisToTicks(2), sim::Pcg32(1, 1));
+  sim::Resource cpu(&sim, "cpu", 1);
+  sim::Mailbox<Message> inbox(&sim);
+  net.RegisterEndpoint(0, Network::Endpoint{&inbox, &cpu, 0});
+  EXPECT_DEATH(net.RegisterEndpoint(0, Network::Endpoint{&inbox, &cpu, 0}),
+               "registered twice");
 }
 
 }  // namespace

@@ -62,6 +62,13 @@ void PrintUsage() {
       "  --data-disks=N --log-disks=N\n"
       "  --cache-pages=N --buffer-pages=N --mpl=N\n"
       "  --seed=N --warmup=S --commits=N --max-seconds=S\n"
+      "  --drop=P                message drop probability (enables recovery)\n"
+      "  --dup=P                 message duplication probability\n"
+      "  --spike=P:MS            delay-spike probability and size\n"
+      "  --crash=NODE:AT:DOWN    crash NODE (-1 = server) at AT s for DOWN s\n"
+      "                          (repeatable)\n"
+      "  --recovery              enable the recovery layer without faults\n"
+      "  --rpc-timeout-ms=D --lease-ms=D --idle-timeout-ms=D\n"
       "  --csv                   one-line machine-readable output\n"
       "  --list                  list algorithm names and exit\n"
       "  --help                  this text\n");
@@ -157,6 +164,43 @@ int main(int argc, char** argv) {
           std::strtoull(value.c_str(), nullptr, 10));
     } else if (ParseValue(arg, "--max-seconds", &value)) {
       cfg.control.max_measure_seconds = std::atof(value.c_str());
+    } else if (ParseValue(arg, "--drop", &value)) {
+      cfg.fault.drop_probability = std::atof(value.c_str());
+      cfg.fault.recovery_enabled = true;
+    } else if (ParseValue(arg, "--dup", &value)) {
+      cfg.fault.duplicate_probability = std::atof(value.c_str());
+      cfg.fault.recovery_enabled = true;
+    } else if (ParseValue(arg, "--spike", &value)) {
+      const std::size_t colon = value.find(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "--spike wants P:MS\n");
+        return 2;
+      }
+      cfg.fault.delay_spike_probability =
+          std::atof(value.substr(0, colon).c_str());
+      cfg.fault.delay_spike_ms = std::atof(value.substr(colon + 1).c_str());
+    } else if (ParseValue(arg, "--crash", &value)) {
+      const std::size_t c1 = value.find(':');
+      const std::size_t c2 =
+          c1 == std::string::npos ? std::string::npos : value.find(':', c1 + 1);
+      if (c2 == std::string::npos) {
+        std::fprintf(stderr, "--crash wants NODE:AT:DOWN\n");
+        return 2;
+      }
+      ccsim::config::FaultParams::CrashEvent crash;
+      crash.node = std::atoi(value.substr(0, c1).c_str());
+      crash.at_s = std::atof(value.substr(c1 + 1, c2 - c1 - 1).c_str());
+      crash.downtime_s = std::atof(value.substr(c2 + 1).c_str());
+      cfg.fault.crashes.push_back(crash);
+      cfg.fault.recovery_enabled = true;
+    } else if (std::strcmp(arg, "--recovery") == 0) {
+      cfg.fault.recovery_enabled = true;
+    } else if (ParseValue(arg, "--rpc-timeout-ms", &value)) {
+      cfg.fault.rpc_timeout_ms = std::atof(value.c_str());
+    } else if (ParseValue(arg, "--lease-ms", &value)) {
+      cfg.fault.lease_ms = std::atof(value.c_str());
+    } else if (ParseValue(arg, "--idle-timeout-ms", &value)) {
+      cfg.fault.xact_idle_timeout_ms = std::atof(value.c_str());
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg);
       return 2;
@@ -190,10 +234,15 @@ int main(int argc, char** argv) {
     std::printf(
         "algorithm,clients,locality,prob_write,resp_s,resp_ci_s,tput,"
         "commits,aborts,deadlocks,stale,cert,srv_cpu,net,disk,client_cpu,"
-        "cache_hit,buffer_hit,messages,packets,stalled\n");
+        "cache_hit,buffer_hit,messages,packets,stalled,"
+        "dropped,duplicated,spikes,down_drops,retries,timeouts,"
+        "timeout_aborts,crash_aborts,lease_exp,dup_suppressed,gc_xacts,"
+        "client_crashes,server_crashes,recovery_s,lost,unknown\n");
     std::printf(
         "%s,%d,%.3f,%.3f,%.6f,%.6f,%.4f,%llu,%llu,%llu,%llu,%llu,%.4f,"
-        "%.4f,%.4f,%.4f,%.4f,%.4f,%llu,%llu,%d\n",
+        "%.4f,%.4f,%.4f,%.4f,%.4f,%llu,%llu,%d,"
+        "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+        "%.4f,%llu,%llu\n",
         algorithm_name.c_str(), cfg.system.num_clients,
         cfg.transaction.inter_xact_loc, cfg.transaction.prob_write,
         r.mean_response_s, r.response_ci_s, r.throughput_tps,
@@ -206,7 +255,22 @@ int main(int argc, char** argv) {
         r.client_hit_ratio, r.server_buffer_hit_ratio,
         static_cast<unsigned long long>(r.messages),
         static_cast<unsigned long long>(r.packets),
-        static_cast<int>(r.stalled));
+        static_cast<int>(r.stalled),
+        static_cast<unsigned long long>(r.messages_dropped),
+        static_cast<unsigned long long>(r.messages_duplicated),
+        static_cast<unsigned long long>(r.delay_spikes),
+        static_cast<unsigned long long>(r.down_drops),
+        static_cast<unsigned long long>(r.rpc_retries),
+        static_cast<unsigned long long>(r.rpc_timeouts),
+        static_cast<unsigned long long>(r.timeout_aborts),
+        static_cast<unsigned long long>(r.crash_aborts),
+        static_cast<unsigned long long>(r.lease_expirations),
+        static_cast<unsigned long long>(r.duplicates_suppressed),
+        static_cast<unsigned long long>(r.gc_xacts),
+        static_cast<unsigned long long>(r.client_crashes),
+        static_cast<unsigned long long>(r.server_crashes), r.recovery_seconds,
+        static_cast<unsigned long long>(r.transactions_lost),
+        static_cast<unsigned long long>(r.unknown_outcomes));
     return 0;
   }
 
@@ -233,5 +297,30 @@ int main(int argc, char** argv) {
   std::printf("messages (packets) : %llu (%llu)\n",
               static_cast<unsigned long long>(r.messages),
               static_cast<unsigned long long>(r.packets));
+  if (cfg.fault.recovery_enabled) {
+    std::printf("faults             : dropped %llu, duplicated %llu, "
+                "spikes %llu, down-drops %llu\n",
+                static_cast<unsigned long long>(r.messages_dropped),
+                static_cast<unsigned long long>(r.messages_duplicated),
+                static_cast<unsigned long long>(r.delay_spikes),
+                static_cast<unsigned long long>(r.down_drops));
+    std::printf("recovery           : retries %llu, timeouts %llu "
+                "(aborts %llu), crash aborts %llu, lease exp %llu\n",
+                static_cast<unsigned long long>(r.rpc_retries),
+                static_cast<unsigned long long>(r.rpc_timeouts),
+                static_cast<unsigned long long>(r.timeout_aborts),
+                static_cast<unsigned long long>(r.crash_aborts),
+                static_cast<unsigned long long>(r.lease_expirations));
+    std::printf("                   : dup-suppressed %llu, gc %llu, "
+                "crashes %llu+%llu, recovery %.3f s, lost %llu, "
+                "unknown %llu\n",
+                static_cast<unsigned long long>(r.duplicates_suppressed),
+                static_cast<unsigned long long>(r.gc_xacts),
+                static_cast<unsigned long long>(r.client_crashes),
+                static_cast<unsigned long long>(r.server_crashes),
+                r.recovery_seconds,
+                static_cast<unsigned long long>(r.transactions_lost),
+                static_cast<unsigned long long>(r.unknown_outcomes));
+  }
   return r.stalled ? 3 : 0;
 }
