@@ -50,49 +50,75 @@ int main() {
   const std::vector<std::string> kColumns = {
       "variant", "resp(s)", "tput", "aborts", "srv cpu", "messages"};
 
+  // Queue every variant (paper choice, then ablated choice, per table),
+  // run the whole set as one parallel batch, then print in queue order.
+  ccsim::bench::SweepBatch batch(&runner);
+  std::vector<std::size_t> handles;
+  {
+    ExperimentConfig cfg = Base(Algorithm::kCallbackLocking, 0.75, 0.2);
+    handles.push_back(batch.Add(cfg));
+    cfg.algorithm.retain_write_locks = true;
+    handles.push_back(batch.Add(cfg));
+  }
+  {
+    ExperimentConfig cfg = Base(Algorithm::kNoWaitNotify, 0.75, 0.2);
+    handles.push_back(batch.Add(cfg));
+    cfg.algorithm.notify_invalidate = true;
+    handles.push_back(batch.Add(cfg));
+  }
+  {
+    ExperimentConfig cfg = Base(Algorithm::kNoWaitNotify, 0.75, 0.2);
+    handles.push_back(batch.Add(cfg));
+    cfg.algorithm.notify_broadcast = true;
+    handles.push_back(batch.Add(cfg));
+  }
+  {
+    ExperimentConfig cfg = Base(Algorithm::kCallbackLocking, 0.05, 0.0);
+    handles.push_back(batch.Add(cfg));
+    cfg.algorithm.explicit_evict_notices = true;
+    handles.push_back(batch.Add(cfg));
+  }
+  {
+    ExperimentConfig cfg = Base(Algorithm::kNoWaitLocking, 0.25, 0.5);
+    handles.push_back(batch.Add(cfg));
+    cfg.algorithm.restart_delay = false;
+    handles.push_back(batch.Add(cfg));
+  }
+  batch.Run();
+
   {
     Table table("Ablation 1: callback lock retention (Loc=0.75, pw=0.2, 30 "
                 "clients)", kColumns);
-    ExperimentConfig cfg = Base(Algorithm::kCallbackLocking, 0.75, 0.2);
-    AddRow(table, "retain read locks (paper)", runner.Run(cfg));
-    cfg.algorithm.retain_write_locks = true;
-    AddRow(table, "retain read+write locks", runner.Run(cfg));
+    AddRow(table, "retain read locks (paper)", batch.Get(handles[0]));
+    AddRow(table, "retain read+write locks", batch.Get(handles[1]));
     table.Print();
   }
   {
     Table table("Ablation 2: notification style (Loc=0.75, pw=0.2, 30 "
                 "clients)", kColumns);
-    ExperimentConfig cfg = Base(Algorithm::kNoWaitNotify, 0.75, 0.2);
-    AddRow(table, "propagate updates (paper)", runner.Run(cfg));
-    cfg.algorithm.notify_invalidate = true;
-    AddRow(table, "invalidate copies", runner.Run(cfg));
+    AddRow(table, "propagate updates (paper)", batch.Get(handles[2]));
+    AddRow(table, "invalidate copies", batch.Get(handles[3]));
     table.Print();
   }
   {
     Table table("Ablation 2b: notification targeting (Loc=0.75, pw=0.2, 30 "
                 "clients)", kColumns);
-    ExperimentConfig cfg = Base(Algorithm::kNoWaitNotify, 0.75, 0.2);
-    AddRow(table, "directory (paper)", runner.Run(cfg));
-    cfg.algorithm.notify_broadcast = true;
-    AddRow(table, "broadcast to all clients", runner.Run(cfg));
+    AddRow(table, "directory (paper)", batch.Get(handles[4]));
+    AddRow(table, "broadcast to all clients", batch.Get(handles[5]));
     table.Print();
   }
   {
     Table table("Ablation 3: callback eviction notices (Loc=0.05, pw=0.0, "
                 "30 clients)", kColumns);
-    ExperimentConfig cfg = Base(Algorithm::kCallbackLocking, 0.05, 0.0);
-    AddRow(table, "piggybacked (default)", runner.Run(cfg));
-    cfg.algorithm.explicit_evict_notices = true;
-    AddRow(table, "dedicated message", runner.Run(cfg));
+    AddRow(table, "piggybacked (default)", batch.Get(handles[6]));
+    AddRow(table, "dedicated message", batch.Get(handles[7]));
     table.Print();
   }
   {
     Table table("Ablation 4: restart delay (Loc=0.25, pw=0.5, 30 clients, "
                 "no-wait)", kColumns);
-    ExperimentConfig cfg = Base(Algorithm::kNoWaitLocking, 0.25, 0.5);
-    AddRow(table, "ACL restart delay (paper)", runner.Run(cfg));
-    cfg.algorithm.restart_delay = false;
-    AddRow(table, "immediate restart", runner.Run(cfg));
+    AddRow(table, "ACL restart delay (paper)", batch.Get(handles[8]));
+    AddRow(table, "immediate restart", batch.Get(handles[9]));
     table.Print();
   }
   std::printf(

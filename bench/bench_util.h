@@ -1,13 +1,16 @@
 #ifndef CCSIM_BENCH_BENCH_UTIL_H_
 #define CCSIM_BENCH_BENCH_UTIL_H_
 
+#include <cstddef>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "config/params.h"
 #include "runner/experiment.h"
 #include "runner/report.h"
+#include "runner/sweep.h"
 
 namespace ccsim::bench {
 
@@ -32,37 +35,111 @@ inline const std::vector<AlgorithmUnderTest> kSection5Algorithms = {
      config::CachingMode::kInterTransaction, "no-wait+notify"},
 };
 
-/// Applies CCSIM_SCALE / CCSIM_SEED and runs one configuration (fatal on an
+/// Applies CCSIM_SCALE / CCSIM_SEED and runs configurations (fatal on an
 /// invalid configuration — bench configs are code, not user input).
+/// Batched entry points fan runs across CCSIM_JOBS worker threads; every
+/// run is seed-deterministic and results come back in submission order,
+/// so printed output is byte-identical to a serial sweep.
 class BenchRunner {
  public:
   BenchRunner() : scale_(runner::ReadBenchScale()) {}
 
-  runner::RunResult Run(config::ExperimentConfig cfg) const {
+  /// Applies the scale/seed knobs shared by every bench run.
+  config::ExperimentConfig Prepare(config::ExperimentConfig cfg) const {
     cfg.control.seed = scale_.seed;
     cfg.control.target_commits = static_cast<std::uint64_t>(
         static_cast<double>(cfg.control.target_commits) * scale_.scale);
     if (cfg.control.target_commits < 200) {
       cfg.control.target_commits = 200;
     }
-    return runner::RunExperiment(cfg).ValueOrDie();
+    return cfg;
+  }
+
+  runner::RunResult Run(config::ExperimentConfig cfg) const {
+    return runner::RunExperiment(Prepare(std::move(cfg))).ValueOrDie();
+  }
+
+  /// Runs a batch in parallel; results[i] belongs to cfgs[i].
+  std::vector<runner::RunResult> RunMany(
+      std::vector<config::ExperimentConfig> cfgs) const {
+    for (config::ExperimentConfig& cfg : cfgs) {
+      cfg = Prepare(std::move(cfg));
+    }
+    std::vector<runner::RunResult> out;
+    out.reserve(cfgs.size());
+    for (auto& result : runner::RunExperiments(cfgs)) {
+      out.push_back(std::move(result.ValueOrDie()));
+    }
+    return out;
+  }
+
+  /// Expands `cfg` into one configuration per client count for `alg`.
+  static std::vector<config::ExperimentConfig> ClientSweepConfigs(
+      config::ExperimentConfig cfg, const AlgorithmUnderTest& alg) {
+    cfg.algorithm.algorithm = alg.algorithm;
+    cfg.algorithm.caching = alg.caching;
+    std::vector<config::ExperimentConfig> out;
+    out.reserve(kClientCounts.size());
+    for (int clients : kClientCounts) {
+      cfg.system.num_clients = clients;
+      out.push_back(cfg);
+    }
+    return out;
   }
 
   /// Sweeps NClients for one algorithm; returns one RunResult per count.
   std::vector<runner::RunResult> SweepClients(
       config::ExperimentConfig cfg, const AlgorithmUnderTest& alg) const {
-    std::vector<runner::RunResult> out;
-    cfg.algorithm.algorithm = alg.algorithm;
-    cfg.algorithm.caching = alg.caching;
-    for (int clients : kClientCounts) {
-      cfg.system.num_clients = clients;
-      out.push_back(Run(cfg));
-    }
-    return out;
+    return RunMany(ClientSweepConfigs(std::move(cfg), alg));
   }
 
  private:
   runner::BenchScale scale_;
+};
+
+/// Accumulates every run a bench program needs, executes them all in one
+/// parallel fan-out, and hands results back by handle. Two-phase use:
+/// Add()/AddSweep() everything first, Run() once, then Get()/GetSweep().
+/// Batching the whole program (rather than each sweep) keeps all
+/// CCSIM_JOBS workers busy across figure and algorithm boundaries.
+class SweepBatch {
+ public:
+  explicit SweepBatch(const BenchRunner* runner) : runner_(runner) {}
+
+  /// Queues one run; resolve with Get(handle) after Run().
+  std::size_t Add(config::ExperimentConfig cfg) {
+    configs_.push_back(std::move(cfg));
+    return configs_.size() - 1;
+  }
+
+  /// Queues a client-count sweep; resolve with GetSweep(handle).
+  std::size_t AddSweep(config::ExperimentConfig cfg,
+                       const AlgorithmUnderTest& alg) {
+    const std::size_t handle = configs_.size();
+    for (config::ExperimentConfig& expanded :
+         BenchRunner::ClientSweepConfigs(std::move(cfg), alg)) {
+      configs_.push_back(std::move(expanded));
+    }
+    return handle;
+  }
+
+  void Run() { results_ = runner_->RunMany(std::move(configs_)); }
+
+  const runner::RunResult& Get(std::size_t handle) const {
+    return results_[handle];
+  }
+
+  std::vector<runner::RunResult> GetSweep(std::size_t handle) const {
+    return std::vector<runner::RunResult>(
+        results_.begin() + static_cast<std::ptrdiff_t>(handle),
+        results_.begin() +
+            static_cast<std::ptrdiff_t>(handle + kClientCounts.size()));
+  }
+
+ private:
+  const BenchRunner* runner_;
+  std::vector<config::ExperimentConfig> configs_;
+  std::vector<runner::RunResult> results_;
 };
 
 /// Prints a figure: rows = client counts, one response-time (or throughput)

@@ -35,16 +35,15 @@ const std::vector<AlgorithmUnderTest> kAllFiveAlgorithms = {
 
 }  // namespace
 
+const double kDropRates[] = {0.0, 0.01, 0.02, 0.05, 0.10};
+
 int main() {
   BenchRunner runner;
-  for (double drop : {0.0, 0.01, 0.02, 0.05, 0.10}) {
-    char title[128];
-    std::snprintf(title, sizeof(title),
-                  "Fault tolerance, %.0f%% message drop "
-                  "(+%.0f%% duplicates), 10 clients",
-                  drop * 100, drop * 40);
-    Table table(title, {"algorithm", "tput", "resp(s)", "aborts", "retries",
-                        "timeouts", "dup supp", "lease exp", "lost"});
+  // Queue every (drop rate, algorithm) run, execute once in parallel,
+  // then print tables in queue order.
+  ccsim::bench::SweepBatch batch(&runner);
+  std::vector<std::size_t> handles;
+  for (double drop : kDropRates) {
     for (const AlgorithmUnderTest& alg : kAllFiveAlgorithms) {
       ExperimentConfig cfg = ccsim::config::BaseConfig();
       cfg.system.num_clients = 10;
@@ -61,7 +60,23 @@ int main() {
       cfg.fault.recovery_enabled = true;
       cfg.fault.drop_probability = drop;
       cfg.fault.duplicate_probability = drop * 0.4;
-      const RunResult r = runner.Run(cfg);
+      handles.push_back(batch.Add(std::move(cfg)));
+    }
+  }
+  batch.Run();
+
+  std::size_t handle_index = 0;
+  for (double drop : kDropRates) {
+    char title[128];
+    std::snprintf(title, sizeof(title),
+                  "Fault tolerance, %.0f%% message drop "
+                  "(+%.0f%% duplicates), 10 clients",
+                  drop * 100, drop * 40);
+    Table table(title, {"algorithm", "tput", "resp(s)", "aborts", "retries",
+                        "timeouts", "dup supp", "lease exp", "lost"});
+    for (const AlgorithmUnderTest& alg : kAllFiveAlgorithms) {
+      const RunResult& r = batch.Get(handles[handle_index]);
+      ++handle_index;
       table.AddRow({alg.label, Table::Num(r.throughput_tps, 2),
                     Table::Num(r.mean_response_s, 3), Table::Int(r.aborts),
                     Table::Int(r.rpc_retries), Table::Int(r.rpc_timeouts),

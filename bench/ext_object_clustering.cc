@@ -46,17 +46,34 @@ ExperimentConfig Base(int object_size, double cluster_factor) {
 
 int main() {
   BenchRunner runner;
+  // Queue part A's (size × {2PL, callback}) runs and part B's cluster
+  // sweep, execute once in parallel, then print both tables.
+  ccsim::bench::SweepBatch batch(&runner);
+  std::vector<std::size_t> handles;
+  for (int object_size : {1, 2, 4, 8}) {
+    ExperimentConfig cfg = Base(object_size, 1.0);
+    cfg.algorithm.algorithm = Algorithm::kTwoPhaseLocking;
+    handles.push_back(batch.Add(cfg));
+    cfg.algorithm.algorithm = Algorithm::kCallbackLocking;
+    handles.push_back(batch.Add(cfg));
+  }
+  for (double cluster : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    ExperimentConfig cfg = Base(4, cluster);
+    cfg.algorithm.algorithm = Algorithm::kTwoPhaseLocking;
+    handles.push_back(batch.Add(std::move(cfg)));
+  }
+  batch.Run();
+
+  std::size_t handle_index = 0;
   {
     Table table("Extension A: object size (atoms per object), Loc=0.25, "
                 "pw=0.2, 20 clients, ClusterFactor=1.0",
                 {"object size", "2PL resp(s)", "callback resp(s)",
                  "2PL tput", "disk util", "2PL aborts"});
     for (int object_size : {1, 2, 4, 8}) {
-      ExperimentConfig cfg = Base(object_size, 1.0);
-      cfg.algorithm.algorithm = Algorithm::kTwoPhaseLocking;
-      const RunResult two_phase = runner.Run(cfg);
-      cfg.algorithm.algorithm = Algorithm::kCallbackLocking;
-      const RunResult callback = runner.Run(cfg);
+      const RunResult& two_phase = batch.Get(handles[handle_index]);
+      const RunResult& callback = batch.Get(handles[handle_index + 1]);
+      handle_index += 2;
       table.AddRow({std::to_string(object_size),
                     Table::Num(two_phase.mean_response_s, 3),
                     Table::Num(callback.mean_response_s, 3),
@@ -72,9 +89,8 @@ int main() {
                 {"cluster factor", "resp(s)", "tput", "disk util",
                  "buffer hit%"});
     for (double cluster : {0.0, 0.25, 0.5, 0.75, 1.0}) {
-      ExperimentConfig cfg = Base(4, cluster);
-      cfg.algorithm.algorithm = Algorithm::kTwoPhaseLocking;
-      const RunResult r = runner.Run(cfg);
+      const RunResult& r = batch.Get(handles[handle_index]);
+      ++handle_index;
       table.AddRow({Table::Num(cluster, 2), Table::Num(r.mean_response_s, 3),
                     Table::Num(r.throughput_tps, 2),
                     Table::Num(r.data_disk_util, 2),

@@ -50,15 +50,15 @@ TransactionParams BatchUpdater() {
 
 }  // namespace
 
+const double kUpdaterShares[] = {0.0, 0.1, 0.3};
+
 int main() {
   BenchRunner runner;
-  for (double updater_share : {0.0, 0.1, 0.3}) {
-    char title[128];
-    std::snprintf(title, sizeof(title),
-                  "Mixed workload, %d%% batch updaters, 30 clients",
-                  static_cast<int>(updater_share * 100));
-    Table table(title, {"algorithm", "browser resp(s)", "batch resp(s)",
-                        "tput", "aborts", "srv cpu", "cache hit%"});
+  // Queue every (share, algorithm) run, execute once in parallel, print
+  // tables in queue order.
+  ccsim::bench::SweepBatch batch(&runner);
+  std::vector<std::size_t> handles;
+  for (double updater_share : kUpdaterShares) {
     for (const AlgorithmUnderTest& alg : kSection5Algorithms) {
       ExperimentConfig cfg = ccsim::config::BaseConfig();
       cfg.system.num_clients = 30;
@@ -73,7 +73,22 @@ int main() {
       cfg.control.warmup_seconds = 60;
       cfg.control.target_commits = 1500;
       cfg.control.max_measure_seconds = 600;
-      const RunResult r = runner.Run(cfg);
+      handles.push_back(batch.Add(std::move(cfg)));
+    }
+  }
+  batch.Run();
+
+  std::size_t handle_index = 0;
+  for (double updater_share : kUpdaterShares) {
+    char title[128];
+    std::snprintf(title, sizeof(title),
+                  "Mixed workload, %d%% batch updaters, 30 clients",
+                  static_cast<int>(updater_share * 100));
+    Table table(title, {"algorithm", "browser resp(s)", "batch resp(s)",
+                        "tput", "aborts", "srv cpu", "cache hit%"});
+    for (const AlgorithmUnderTest& alg : kSection5Algorithms) {
+      const RunResult& r = batch.Get(handles[handle_index]);
+      ++handle_index;
       const double browser_resp =
           r.per_type_response.empty() ? 0.0 : r.per_type_response[0].first;
       const double batch_resp =

@@ -46,22 +46,12 @@ ExperimentConfig Base(double locality, double prob_write) {
   return cfg;
 }
 
-void RunFigure(const BenchRunner& runner, const std::string& title,
-               double locality, double prob_write, bool throughput) {
-  std::vector<std::string> names;
-  std::vector<std::vector<double>> series;
-  for (const AlgorithmUnderTest& alg : kAlgorithms) {
-    names.push_back(alg.label);
-    std::vector<double> values;
-    for (const RunResult& r :
-         runner.SweepClients(Base(locality, prob_write), alg)) {
-      values.push_back(throughput ? r.throughput_tps : r.mean_response_s);
-    }
-    series.push_back(std::move(values));
-  }
-  PrintFigure(title, names, series, throughput ? "tput" : "resp(s)",
-              throughput ? 2 : 3);
-}
+struct FigureSpec {
+  const char* title;
+  double locality;
+  double prob_write;
+  bool throughput;
+};
 
 }  // namespace
 
@@ -69,22 +59,54 @@ int main() {
   BenchRunner runner;
   // The 1990 memo does not print pw on every plot; all three write
   // probabilities of Table 5 are reported for each locality.
-  RunFigure(runner, "Figure 5(~a) response time, Loc=0.05, ProbWrite=0.0",
-            0.05, 0.0, /*throughput=*/false);
-  RunFigure(runner, "Figure 5(a) response time, Loc=0.05, ProbWrite=0.2",
-            0.05, 0.2, /*throughput=*/false);
-  RunFigure(runner, "Figure 5(b) response time, Loc=0.05, ProbWrite=0.5",
-            0.05, 0.5, /*throughput=*/false);
-  RunFigure(runner, "Figure 6(a) response time, Loc=0.50, ProbWrite=0.0",
-            0.50, 0.0, /*throughput=*/false);
-  RunFigure(runner, "Figure 6(~ab) response time, Loc=0.50, ProbWrite=0.2",
-            0.50, 0.2, /*throughput=*/false);
-  RunFigure(runner, "Figure 6(b) response time, Loc=0.50, ProbWrite=0.5",
-            0.50, 0.5, /*throughput=*/false);
-  RunFigure(runner, "Figure 7(a) throughput, Loc=0.50, ProbWrite=0.0", 0.50,
-            0.0, /*throughput=*/true);
-  RunFigure(runner, "Figure 7(b) throughput, Loc=0.50, ProbWrite=0.5", 0.50,
-            0.5, /*throughput=*/true);
+  const FigureSpec kFigures[] = {
+      {"Figure 5(~a) response time, Loc=0.05, ProbWrite=0.0", 0.05, 0.0,
+       false},
+      {"Figure 5(a) response time, Loc=0.05, ProbWrite=0.2", 0.05, 0.2,
+       false},
+      {"Figure 5(b) response time, Loc=0.05, ProbWrite=0.5", 0.05, 0.5,
+       false},
+      {"Figure 6(a) response time, Loc=0.50, ProbWrite=0.0", 0.50, 0.0,
+       false},
+      {"Figure 6(~ab) response time, Loc=0.50, ProbWrite=0.2", 0.50, 0.2,
+       false},
+      {"Figure 6(b) response time, Loc=0.50, ProbWrite=0.5", 0.50, 0.5,
+       false},
+      {"Figure 7(a) throughput, Loc=0.50, ProbWrite=0.0", 0.50, 0.0, true},
+      {"Figure 7(b) throughput, Loc=0.50, ProbWrite=0.5", 0.50, 0.5, true},
+  };
+
+  // Queue every figure's sweeps, run them as one parallel batch, then
+  // print in queue order (output is identical to the serial version).
+  ccsim::bench::SweepBatch batch(&runner);
+  std::vector<std::vector<std::size_t>> handles;
+  for (const FigureSpec& figure : kFigures) {
+    std::vector<std::size_t> row;
+    for (const AlgorithmUnderTest& alg : kAlgorithms) {
+      row.push_back(
+          batch.AddSweep(Base(figure.locality, figure.prob_write), alg));
+    }
+    handles.push_back(std::move(row));
+  }
+  batch.Run();
+
+  for (std::size_t f = 0; f < handles.size(); ++f) {
+    const FigureSpec& figure = kFigures[f];
+    std::vector<std::string> names;
+    std::vector<std::vector<double>> series;
+    for (std::size_t a = 0; a < kAlgorithms.size(); ++a) {
+      names.push_back(kAlgorithms[a].label);
+      std::vector<double> values;
+      for (const RunResult& r : batch.GetSweep(handles[f][a])) {
+        values.push_back(figure.throughput ? r.throughput_tps
+                                           : r.mean_response_s);
+      }
+      series.push_back(std::move(values));
+    }
+    PrintFigure(figure.title, names, series,
+                figure.throughput ? "tput" : "resp(s)",
+                figure.throughput ? 2 : 3);
+  }
   std::printf(
       "\nPaper check: inter beats intra when locality is high (Fig 6; "
       "largest gap at pw 0), little difference at low locality (Fig 5); "

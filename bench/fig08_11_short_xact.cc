@@ -55,6 +55,20 @@ int main() {
     double prob_write;
   } kPanels[] = {{'a', 0.0}, {'b', 0.2}, {'c', 0.5}};
 
+  // Queue all 12 panels' sweeps, run once in parallel, print in order.
+  ccsim::bench::SweepBatch batch(&runner);
+  std::vector<std::size_t> handles;
+  for (const auto& figure : kFigures) {
+    for (const auto& panel : kPanels) {
+      for (const AlgorithmUnderTest& alg : kSection5Algorithms) {
+        handles.push_back(batch.AddSweep(
+            Base(figure.locality, panel.prob_write), alg));
+      }
+    }
+  }
+  batch.Run();
+
+  std::size_t handle_index = 0;
   for (const auto& figure : kFigures) {
     for (const auto& panel : kPanels) {
       std::vector<std::string> names;
@@ -62,10 +76,10 @@ int main() {
       for (const AlgorithmUnderTest& alg : kSection5Algorithms) {
         names.push_back(alg.label);
         std::vector<double> values;
-        for (const RunResult& r : runner.SweepClients(
-                 Base(figure.locality, panel.prob_write), alg)) {
+        for (const RunResult& r : batch.GetSweep(handles[handle_index])) {
           values.push_back(r.mean_response_s);
         }
+        ++handle_index;
         series.push_back(std::move(values));
       }
       char title[160];

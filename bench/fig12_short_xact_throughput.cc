@@ -39,16 +39,27 @@ int main() {
       {"Figure 12(a) throughput, Loc=0.25, ProbWrite=0.2", 0.25},
       {"Figure 12(b) throughput, Loc=0.75, ProbWrite=0.2", 0.75},
   };
+  // Queue both figures' sweeps, run once in parallel, print in order.
+  ccsim::bench::SweepBatch batch(&runner);
+  std::vector<std::size_t> handles;
+  for (const auto& figure : kFigures) {
+    for (const AlgorithmUnderTest& alg : kSection5Algorithms) {
+      handles.push_back(batch.AddSweep(Base(figure.locality), alg));
+    }
+  }
+  batch.Run();
+
+  std::size_t handle_index = 0;
   for (const auto& figure : kFigures) {
     std::vector<std::string> names;
     std::vector<std::vector<double>> series;
     for (const AlgorithmUnderTest& alg : kSection5Algorithms) {
       names.push_back(alg.label);
       std::vector<double> values;
-      for (const RunResult& r :
-           runner.SweepClients(Base(figure.locality), alg)) {
+      for (const RunResult& r : batch.GetSweep(handles[handle_index])) {
         values.push_back(r.throughput_tps);
       }
+      ++handle_index;
       series.push_back(std::move(values));
     }
     PrintFigure(figure.title, names, series, "tput", 2);

@@ -40,20 +40,35 @@ int main() {
   const double kLocalities[] = {0.05, 0.25, 0.50, 0.75};
   const double kProbWrites[] = {0.0, 0.1, 0.2, 0.35, 0.5};
 
+  // Queue every (locality, pw, algorithm) cell run, execute the whole grid
+  // as one parallel batch, then score cells in queue order.
+  ccsim::bench::SweepBatch batch(&runner);
+  std::vector<std::size_t> handles;
+  for (double locality : kLocalities) {
+    for (double prob_write : kProbWrites) {
+      for (const AlgorithmUnderTest& alg : kSection5Algorithms) {
+        ExperimentConfig cfg = Base(locality, prob_write);
+        cfg.algorithm.algorithm = alg.algorithm;
+        cfg.algorithm.caching = alg.caching;
+        handles.push_back(batch.Add(std::move(cfg)));
+      }
+    }
+  }
+  batch.Run();
+
+  std::size_t handle_index = 0;
   Table table("Figure 13: best algorithm per (locality, write probability), "
               "50 clients",
               {"loc \\ pw", "0.0", "0.1", "0.2", "0.35", "0.5"});
   for (double locality : kLocalities) {
     std::vector<std::string> row = {Table::Num(locality, 2)};
-    for (double prob_write : kProbWrites) {
+    for (std::size_t p = 0; p < std::size(kProbWrites); ++p) {
       double best = 0.0;
       double two_phase = 0.0;
       const char* best_name = nullptr;
       for (const AlgorithmUnderTest& alg : kSection5Algorithms) {
-        ExperimentConfig cfg = Base(locality, prob_write);
-        cfg.algorithm.algorithm = alg.algorithm;
-        cfg.algorithm.caching = alg.caching;
-        const RunResult r = runner.Run(cfg);
+        const RunResult& r = batch.Get(handles[handle_index]);
+        ++handle_index;
         if (best_name == nullptr || r.mean_response_s < best) {
           best = r.mean_response_s;
           best_name = alg.label;

@@ -53,16 +53,28 @@ int main() {
       {"Figure 15(b) response time, Loc=0.75, ProbWrite=0.5 (large xacts)",
        0.75, 0.5},
   };
+  // Queue all four figures' sweeps, run once in parallel, print in order.
+  ccsim::bench::SweepBatch batch(&runner);
+  std::vector<std::size_t> handles;
+  for (const auto& figure : kFigures) {
+    for (const AlgorithmUnderTest& alg : kSection5Algorithms) {
+      handles.push_back(
+          batch.AddSweep(Base(figure.locality, figure.prob_write), alg));
+    }
+  }
+  batch.Run();
+
+  std::size_t handle_index = 0;
   for (const auto& figure : kFigures) {
     std::vector<std::string> names;
     std::vector<std::vector<double>> series;
     for (const AlgorithmUnderTest& alg : kSection5Algorithms) {
       names.push_back(alg.label);
       std::vector<double> values;
-      for (const RunResult& r : runner.SweepClients(
-               Base(figure.locality, figure.prob_write), alg)) {
+      for (const RunResult& r : batch.GetSweep(handles[handle_index])) {
         values.push_back(r.mean_response_s);
       }
+      ++handle_index;
       series.push_back(std::move(values));
     }
     PrintFigure(figure.title, names, series, "resp(s)");

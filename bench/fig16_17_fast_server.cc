@@ -52,15 +52,28 @@ int main() {
       {"Figure 17(b) response time, Loc=0.75, ProbWrite=0.5 (20 MIPS "
        "server)", 0.75, 0.5},
   };
+  // Queue all four figures' sweeps, run once in parallel, print in order.
+  ccsim::bench::SweepBatch batch(&runner);
+  std::vector<std::size_t> handles;
+  for (const auto& figure : kFigures) {
+    for (const AlgorithmUnderTest& alg : kSection5Algorithms) {
+      handles.push_back(
+          batch.AddSweep(Base(figure.locality, figure.prob_write), alg));
+    }
+  }
+  batch.Run();
+
   double network_util_50 = 0.0;
+  std::size_t handle_index = 0;
   for (const auto& figure : kFigures) {
     std::vector<std::string> names;
     std::vector<std::vector<double>> series;
     for (const AlgorithmUnderTest& alg : kSection5Algorithms) {
       names.push_back(alg.label);
       std::vector<double> values;
-      const std::vector<RunResult> sweep = runner.SweepClients(
-          Base(figure.locality, figure.prob_write), alg);
+      const std::vector<RunResult> sweep =
+          batch.GetSweep(handles[handle_index]);
+      ++handle_index;
       for (const RunResult& r : sweep) {
         values.push_back(r.mean_response_s);
       }

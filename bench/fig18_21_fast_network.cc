@@ -35,16 +35,17 @@ ExperimentConfig Base(double locality, double prob_write) {
   return cfg;
 }
 
-void RunResponseFigure(const BenchRunner& runner, const char* title,
-                       double locality, double prob_write,
-                       double* disk_util_out) {
+void PrintResponseFigure(const ccsim::bench::SweepBatch& batch,
+                         const std::vector<std::size_t>& handles,
+                         std::size_t* handle_index, const char* title,
+                         double* disk_util_out) {
   std::vector<std::string> names;
   std::vector<std::vector<double>> series;
   for (const AlgorithmUnderTest& alg : kSection5Algorithms) {
     names.push_back(alg.label);
     std::vector<double> values;
-    const std::vector<RunResult> sweep =
-        runner.SweepClients(Base(locality, prob_write), alg);
+    const std::vector<RunResult> sweep = batch.GetSweep(handles[*handle_index]);
+    ++*handle_index;
     for (const RunResult& r : sweep) {
       values.push_back(r.mean_response_s);
     }
@@ -58,19 +59,44 @@ void RunResponseFigure(const BenchRunner& runner, const char* title,
 
 int main() {
   BenchRunner runner;
+  const struct {
+    const char* title;
+    double locality;
+    double prob_write;
+  } kResponseFigures[] = {
+      {"Figure 18(a) response time, Loc=0.25, ProbWrite=0.2 "
+       "(fast net+server)", 0.25, 0.2},
+      {"Figure 18(b) response time, Loc=0.25, ProbWrite=0.5 "
+       "(fast net+server)", 0.25, 0.5},
+      {"Figure 19(a) response time, Loc=0.75, ProbWrite=0.0 "
+       "(fast net+server)", 0.75, 0.0},
+      {"Figure 19(b) response time, Loc=0.75, ProbWrite=0.2 "
+       "(fast net+server)", 0.75, 0.2},
+  };
+
+  // Queue every sweep (response figures, then throughput figures), run
+  // them as one parallel batch, then print in queue order.
+  ccsim::bench::SweepBatch batch(&runner);
+  std::vector<std::size_t> handles;
+  for (const auto& figure : kResponseFigures) {
+    for (const AlgorithmUnderTest& alg : kSection5Algorithms) {
+      handles.push_back(
+          batch.AddSweep(Base(figure.locality, figure.prob_write), alg));
+    }
+  }
+  for (double locality : {0.25, 0.75}) {
+    for (const AlgorithmUnderTest& alg : kSection5Algorithms) {
+      handles.push_back(batch.AddSweep(Base(locality, 0.2), alg));
+    }
+  }
+  batch.Run();
+
   double disk_util = 0.0;
-  RunResponseFigure(runner,
-                    "Figure 18(a) response time, Loc=0.25, ProbWrite=0.2 "
-                    "(fast net+server)", 0.25, 0.2, &disk_util);
-  RunResponseFigure(runner,
-                    "Figure 18(b) response time, Loc=0.25, ProbWrite=0.5 "
-                    "(fast net+server)", 0.25, 0.5, &disk_util);
-  RunResponseFigure(runner,
-                    "Figure 19(a) response time, Loc=0.75, ProbWrite=0.0 "
-                    "(fast net+server)", 0.75, 0.0, &disk_util);
-  RunResponseFigure(runner,
-                    "Figure 19(b) response time, Loc=0.75, ProbWrite=0.2 "
-                    "(fast net+server)", 0.75, 0.2, &disk_util);
+  std::size_t handle_index = 0;
+  for (const auto& figure : kResponseFigures) {
+    PrintResponseFigure(batch, handles, &handle_index, figure.title,
+                        &disk_util);
+  }
 
   // Figures 20 and 21: throughput at Loc 0.25 and 0.75 (pw 0.2).
   for (double locality : {0.25, 0.75}) {
@@ -79,10 +105,10 @@ int main() {
     for (const AlgorithmUnderTest& alg : kSection5Algorithms) {
       names.push_back(alg.label);
       std::vector<double> values;
-      for (const RunResult& r :
-           runner.SweepClients(Base(locality, 0.2), alg)) {
+      for (const RunResult& r : batch.GetSweep(handles[handle_index])) {
         values.push_back(r.throughput_tps);
       }
+      ++handle_index;
       series.push_back(std::move(values));
     }
     char title[120];

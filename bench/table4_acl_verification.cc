@@ -36,16 +36,27 @@ ExperimentConfig Config(Algorithm algorithm, int mpl) {
 
 int main() {
   BenchRunner runner;
+  // Queue both algorithms at every MPL, run once in parallel, then print.
+  ccsim::bench::SweepBatch batch(&runner);
+  std::vector<std::pair<std::size_t, std::size_t>> handles;
+  for (int mpl : kMplLevels) {
+    const std::size_t two_phase =
+        batch.Add(Config(Algorithm::kTwoPhaseLocking, mpl));
+    const std::size_t certification =
+        batch.Add(Config(Algorithm::kCertification, mpl));
+    handles.emplace_back(two_phase, certification);
+  }
+  batch.Run();
+
   Table table(
       "Table 4 experiment: ACL verification — throughput (commits/sec) vs "
       "MPL, 200 clients",
       {"MPL", "2PL tput", "cert tput", "2PL resp(s)", "cert resp(s)",
        "2PL aborts", "cert aborts"});
-  for (int mpl : kMplLevels) {
-    const RunResult two_phase =
-        runner.Run(Config(Algorithm::kTwoPhaseLocking, mpl));
-    const RunResult certification =
-        runner.Run(Config(Algorithm::kCertification, mpl));
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const int mpl = kMplLevels[i];
+    const RunResult& two_phase = batch.Get(handles[i].first);
+    const RunResult& certification = batch.Get(handles[i].second);
     table.AddRow({std::to_string(mpl),
                   Table::Num(two_phase.throughput_tps, 2),
                   Table::Num(certification.throughput_tps, 2),

@@ -1,0 +1,76 @@
+#include "runner/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <optional>
+#include <thread>
+#include <utility>
+
+namespace ccsim::runner {
+
+int DefaultJobs() {
+  if (const char* env = std::getenv("CCSIM_JOBS")) {
+    const int jobs = std::atoi(env);
+    if (jobs >= 1) {
+      return jobs;
+    }
+    return 1;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::vector<Result<RunResult>> RunExperiments(
+    const std::vector<config::ExperimentConfig>& configs, int jobs) {
+  // Result<T> has no default constructor, so workers fill optional slots
+  // and the end of the function unwraps them (every slot is set by then).
+  std::vector<std::optional<Result<RunResult>>> slots(configs.size());
+
+  const std::size_t worker_count =
+      jobs > 1 ? std::min<std::size_t>(static_cast<std::size_t>(jobs),
+                                       configs.size())
+               : 1;
+  if (worker_count <= 1) {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      slots[i].emplace(RunExperiment(configs[i]));
+    }
+  } else {
+    // Work-stealing by atomic counter: each worker claims the next
+    // unclaimed config. Results land in their submission-order slot, so
+    // completion order is irrelevant to the caller.
+    std::atomic<std::size_t> next{0};
+    auto work = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= configs.size()) {
+          return;
+        }
+        slots[i].emplace(RunExperiment(configs[i]));
+      }
+    };
+    std::vector<std::thread> workers;
+    workers.reserve(worker_count - 1);
+    for (std::size_t w = 1; w < worker_count; ++w) {
+      workers.emplace_back(work);
+    }
+    work();  // the calling thread is worker 0
+    for (std::thread& worker : workers) {
+      worker.join();
+    }
+  }
+
+  std::vector<Result<RunResult>> results;
+  results.reserve(slots.size());
+  for (std::optional<Result<RunResult>>& slot : slots) {
+    results.push_back(std::move(*slot));
+  }
+  return results;
+}
+
+std::vector<Result<RunResult>> RunExperiments(
+    const std::vector<config::ExperimentConfig>& configs) {
+  return RunExperiments(configs, DefaultJobs());
+}
+
+}  // namespace ccsim::runner

@@ -1,0 +1,36 @@
+#ifndef CCSIM_RUNNER_SWEEP_H_
+#define CCSIM_RUNNER_SWEEP_H_
+
+#include <vector>
+
+#include "config/params.h"
+#include "runner/experiment.h"
+#include "util/status.h"
+
+namespace ccsim::runner {
+
+/// Number of worker threads a sweep should use by default: the CCSIM_JOBS
+/// environment variable if set (clamped to >= 1), else the hardware
+/// concurrency, else 1.
+int DefaultJobs();
+
+/// Runs every experiment in `configs` and returns the results in
+/// submission order (results[i] belongs to configs[i]).
+///
+/// With `jobs` > 1, runs fan out across a pool of that many threads. Each
+/// simulation is single-threaded, seed-deterministic, and shares no
+/// mutable state with its siblings, so the result vector is byte-for-byte
+/// identical to a serial sweep no matter how completion interleaves —
+/// parallelism changes wall-clock only. With `jobs` <= 1 (or a single
+/// config) the runs execute inline on the calling thread, which is also
+/// the fallback when thread creation fails.
+std::vector<Result<RunResult>> RunExperiments(
+    const std::vector<config::ExperimentConfig>& configs, int jobs);
+
+/// Convenience overload: `jobs` = DefaultJobs().
+std::vector<Result<RunResult>> RunExperiments(
+    const std::vector<config::ExperimentConfig>& configs);
+
+}  // namespace ccsim::runner
+
+#endif  // CCSIM_RUNNER_SWEEP_H_

@@ -37,12 +37,16 @@ class Event {
 
   /// Wakes all processes currently waiting. Processes that call Wait() after
   /// this Signal() wait for the next one.
+  ///
+  /// The waiter list swaps into a member scratch buffer (not a fresh
+  /// vector), so after the first broadcast the two buffers ping-pong and
+  /// signal-heavy runs stop touching the allocator.
   void Signal() {
-    std::vector<std::coroutine_handle<>> woken;
-    woken.swap(waiters_);
-    for (std::coroutine_handle<> handle : woken) {
+    scratch_.swap(waiters_);
+    for (std::coroutine_handle<> handle : scratch_) {
       simulator_->ScheduleResumeAt(simulator_->Now(), handle);
     }
+    scratch_.clear();  // keeps capacity for the next swap
   }
 
   std::size_t waiter_count() const { return waiters_.size(); }
@@ -50,6 +54,7 @@ class Event {
  private:
   Simulator* simulator_;
   std::vector<std::coroutine_handle<>> waiters_;
+  std::vector<std::coroutine_handle<>> scratch_;
 };
 
 /// A one-shot value slot ("future"): exactly one producer calls Set(), at
@@ -107,21 +112,28 @@ class Mailbox {
   Mailbox(const Mailbox&) = delete;
   Mailbox& operator=(const Mailbox&) = delete;
 
-  /// Enqueues an item, waking the oldest waiting receiver if any.
+  /// Enqueues an item, waking the oldest waiting receiver if any. The
+  /// wakeup re-checks the queue when it fires: a rival receiver (or a
+  /// Clear()) may have emptied it in between, in which case the woken
+  /// receiver is parked again instead of resuming into an empty queue.
   void Push(T item) {
     items_.push_back(std::move(item));
     if (!receivers_.empty()) {
       std::coroutine_handle<> handle = receivers_.front();
       receivers_.pop_front();
-      simulator_->ScheduleResumeAt(simulator_->Now(), handle);
+      Mailbox* mailbox = this;
+      simulator_->ScheduleAt(simulator_->Now(), [mailbox, handle] {
+        mailbox->DeliverOrRequeue(handle);
+      });
     }
   }
 
   /// Awaitable returning the next item; suspends while the queue is empty.
   ///
-  /// Note: with multiple concurrent receivers a wakeup does not reserve an
-  /// item; the awaiter re-checks on resume and re-queues if a rival consumed
-  /// it first.
+  /// The fast path is unchanged: when items are already queued, Receive()
+  /// completes without suspending. A suspended receiver is only resumed
+  /// through DeliverOrRequeue, which guarantees the queue is non-empty at
+  /// resume time even with multiple concurrent receivers.
   auto Receive() {
     struct Awaiter {
       Mailbox* mailbox;
@@ -134,9 +146,6 @@ class Mailbox {
         return true;
       }
       T await_resume() {
-        // A rival receiver may have taken the item that woke us; in that
-        // case this awaiter cannot complete. Model code uses a single
-        // receiver per mailbox, so the queue must be non-empty here.
         CCSIM_CHECK(!mailbox->items_.empty());
         T item = std::move(mailbox->items_.front());
         mailbox->items_.pop_front();
@@ -154,6 +163,17 @@ class Mailbox {
   bool empty() const { return items_.empty(); }
 
  private:
+  /// Fire-time half of the Push() wakeup: resume the receiver if an item
+  /// is still there, otherwise re-park it at the front of the line (it is
+  /// still the oldest waiter, so FIFO service order is preserved).
+  void DeliverOrRequeue(std::coroutine_handle<> handle) {
+    if (items_.empty()) {
+      receivers_.push_front(handle);
+      return;
+    }
+    handle.resume();
+  }
+
   Simulator* simulator_;
   std::deque<T> items_;
   std::deque<std::coroutine_handle<>> receivers_;

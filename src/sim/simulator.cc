@@ -2,7 +2,6 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <utility>
 
 namespace ccsim::sim {
 
@@ -28,27 +27,42 @@ void Simulator::Spawn(Process process) {
   promise.registry_id = next_registry_id_++;
   live_processes_.emplace(promise.registry_id, handle);
   // First step runs at the current time, in FIFO order with other events.
-  ScheduleAt(now_, [handle] { handle.resume(); });
+  ScheduleResumeAt(now_, handle);
 }
 
 std::uint64_t Simulator::Run(Ticks until) {
   std::uint64_t processed = 0;
   stop_requested_ = false;
-  while (!calendar_.empty() && !stop_requested_) {
-    const CalendarEntry& top = calendar_.top();
+  while (!times_.empty() && !stop_requested_) {
+    // Copy the heap root: the fired callback may push entries and
+    // reallocate times_. New pushes sort strictly after the root (their
+    // time is >= now_ and their bucket order is later), so the root entry
+    // stays the minimum until its bucket is fully drained.
+    const TimesEntry top = times_.front();
     if (top.when > until) {
       break;
     }
     CCSIM_DCHECK(top.when >= now_);
     now_ = top.when;
-    // Move the callback out before popping so it survives the pop.
-    std::function<void()> fn = std::move(const_cast<CalendarEntry&>(top).fn);
-    calendar_.pop();
-    fn();
+    {
+      // Copy the payload before firing: the callback may append to this
+      // very bucket (a same-time push) and reallocate its vector.
+      Bucket& bucket = buckets_[top.bucket];
+      EntryPayload payload = bucket.items[bucket.cursor];
+      ++bucket.cursor;
+      Fire(payload);
+    }
+    --pending_;
     ++processed;
     ++events_processed_;
+    // Re-acquire: Fire may have grown buckets_.
+    Bucket& bucket = buckets_[top.bucket];
+    if (bucket.cursor == bucket.items.size()) {
+      HeapPopMin();
+      FreeBucket(top.when, top.bucket);
+    }
   }
-  if (calendar_.empty() || stop_requested_) {
+  if (times_.empty() || stop_requested_) {
     // Clock does not advance past the last event.
     return processed;
   }
@@ -64,10 +78,28 @@ void Simulator::Shutdown() {
     Process::Handle handle = live_processes_.begin()->second;
     handle.destroy();
   }
-  // Drop pending events; they may capture handles that no longer exist.
-  while (!calendar_.empty()) {
-    calendar_.pop();
+  // Drop pending events without firing them; they may reference handles
+  // that no longer exist. Only heap-fallback closures own memory.
+  for (const TimesEntry& entry : times_) {
+    Bucket& bucket = buckets_[entry.bucket];
+    for (std::size_t i = bucket.cursor; i < bucket.items.size(); ++i) {
+      if (bucket.items[i].drop != nullptr) {
+        bucket.items[i].drop(bucket.items[i]);
+      }
+    }
+    bucket.items.clear();
+    bucket.cursor = 0;
   }
+  times_.clear();
+  // Rebuild the free list: every pooled bucket is empty again.
+  free_buckets_.clear();
+  for (std::uint32_t i = 0; i < buckets_.size(); ++i) {
+    free_buckets_.push_back(i);
+  }
+  for (Memo& memo : memo_) {
+    memo.bucket = kNoBucket;
+  }
+  pending_ = 0;
   shutting_down_ = false;
 }
 

@@ -1,0 +1,140 @@
+// Golden determinism tests for the event kernel and the parallel sweep
+// runner: the simulation must be a pure function of (config, seed).
+//
+// Every metric is serialized with hex-float formatting (%a), so the
+// comparison is byte-exact — not within-epsilon. A single reordered event
+// anywhere in a run perturbs the RNG consumption sequence and shows up
+// here. This is the acceptance gate for kernel changes: any calendar or
+// payload rework must keep these green.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "config/params.h"
+#include "runner/experiment.h"
+#include "runner/sweep.h"
+
+namespace ccsim {
+namespace {
+
+struct NamedAlgorithm {
+  config::Algorithm algorithm;
+  const char* label;
+};
+
+// All five consistency algorithms: each exercises a different mix of
+// kernel primitives (callbacks fan out events; certification batches
+// validation; no-wait piggybacks checks on fetches).
+const NamedAlgorithm kAllAlgorithms[] = {
+    {config::Algorithm::kTwoPhaseLocking, "2PL"},
+    {config::Algorithm::kCertification, "certification"},
+    {config::Algorithm::kCallbackLocking, "callback"},
+    {config::Algorithm::kNoWaitLocking, "no-wait"},
+    {config::Algorithm::kNoWaitNotify, "no-wait+notify"},
+};
+
+config::ExperimentConfig SmallConfig(config::Algorithm algorithm,
+                                     int num_clients) {
+  config::ExperimentConfig cfg = config::BaseConfig();
+  cfg.algorithm.algorithm = algorithm;
+  cfg.algorithm.caching = config::CachingMode::kInterTransaction;
+  cfg.system.num_clients = num_clients;
+  cfg.control.seed = 12345;
+  cfg.control.warmup_seconds = 5;
+  cfg.control.target_commits = 200;
+  cfg.control.max_measure_seconds = 120;
+  return cfg;
+}
+
+void Append(std::string& out, const char* name, double v) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s=%a\n", name, v);
+  out += buf;
+}
+
+void Append(std::string& out, const char* name, std::uint64_t v) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s=%llu\n", name,
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+// Byte-exact serialization of every scalar metric in a RunResult.
+std::string Serialize(const runner::RunResult& r) {
+  std::string out;
+  Append(out, "measured_seconds", r.measured_seconds);
+  Append(out, "commits", r.commits);
+  Append(out, "aborts", r.aborts);
+  Append(out, "deadlock_aborts", r.deadlock_aborts);
+  Append(out, "stale_aborts", r.stale_aborts);
+  Append(out, "cert_aborts", r.cert_aborts);
+  Append(out, "deadlocks_detected", r.deadlocks_detected);
+  Append(out, "mean_response_s", r.mean_response_s);
+  Append(out, "response_ci_s", r.response_ci_s);
+  Append(out, "throughput_tps", r.throughput_tps);
+  Append(out, "mean_attempts_per_commit", r.mean_attempts_per_commit);
+  Append(out, "server_cpu_util", r.server_cpu_util);
+  Append(out, "client_cpu_util", r.client_cpu_util);
+  Append(out, "network_util", r.network_util);
+  Append(out, "data_disk_util", r.data_disk_util);
+  Append(out, "log_disk_util", r.log_disk_util);
+  Append(out, "messages", r.messages);
+  Append(out, "packets", r.packets);
+  Append(out, "client_hit_ratio", r.client_hit_ratio);
+  Append(out, "server_buffer_hit_ratio", r.server_buffer_hit_ratio);
+  Append(out, "buffer_writebacks", r.buffer_writebacks);
+  Append(out, "log_forced_commits", r.log_forced_commits);
+  Append(out, "undo_page_ios", r.undo_page_ios);
+  for (std::size_t i = 0; i < r.per_type_response.size(); ++i) {
+    char name[48];
+    std::snprintf(name, sizeof(name), "type%zu_response", i);
+    Append(out, name, r.per_type_response[i].first);
+    std::snprintf(name, sizeof(name), "type%zu_commits", i);
+    Append(out, name, r.per_type_response[i].second);
+  }
+  Append(out, "stalled", static_cast<std::uint64_t>(r.stalled ? 1 : 0));
+  return out;
+}
+
+TEST(DeterminismTest, SameSeedTwiceIsByteIdentical) {
+  for (const NamedAlgorithm& alg : kAllAlgorithms) {
+    const config::ExperimentConfig cfg = SmallConfig(alg.algorithm, 10);
+    auto first = runner::RunExperiment(cfg);
+    auto second = runner::RunExperiment(cfg);
+    ASSERT_TRUE(first.ok()) << alg.label;
+    ASSERT_TRUE(second.ok()) << alg.label;
+    EXPECT_FALSE(first.ValueOrDie().stalled) << alg.label;
+    EXPECT_EQ(Serialize(first.ValueOrDie()), Serialize(second.ValueOrDie()))
+        << alg.label;
+  }
+}
+
+TEST(DeterminismTest, SerialAndParallelSweepsAreByteIdentical) {
+  // One sweep mixing all five algorithms at two client counts, run once
+  // on the calling thread and once fanned across 8 workers. Results must
+  // come back in submission order with byte-identical metrics.
+  std::vector<config::ExperimentConfig> configs;
+  for (const NamedAlgorithm& alg : kAllAlgorithms) {
+    for (int clients : {5, 10}) {
+      configs.push_back(SmallConfig(alg.algorithm, clients));
+    }
+  }
+  auto serial = runner::RunExperiments(configs, 1);
+  auto parallel = runner::RunExperiments(configs, 8);
+  ASSERT_EQ(serial.size(), configs.size());
+  ASSERT_EQ(parallel.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    ASSERT_TRUE(serial[i].ok()) << "config " << i;
+    ASSERT_TRUE(parallel[i].ok()) << "config " << i;
+    EXPECT_EQ(Serialize(serial[i].ValueOrDie()),
+              Serialize(parallel[i].ValueOrDie()))
+        << "config " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ccsim

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 
 #include "sim/process.h"
 #include "sim/random.h"
@@ -102,8 +103,10 @@ INSTANTIATE_TEST_SUITE_P(
                       MmcCase{1, 0.8}, MmcCase{2, 0.5}, MmcCase{2, 0.7},
                       MmcCase{4, 0.7}),
     [](const ::testing::TestParamInfo<MmcCase>& info) {
-      return "c" + std::to_string(info.param.servers) + "_rho" +
-             std::to_string(static_cast<int>(info.param.rho * 100));
+      char name[32];
+      std::snprintf(name, sizeof(name), "c%d_rho%d", info.param.servers,
+                    static_cast<int>(info.param.rho * 100));
+      return std::string(name);
     });
 
 TEST(QueueingTheoryTest, LittleLawHoldsOnQueueLength) {

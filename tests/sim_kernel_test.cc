@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -107,6 +109,112 @@ TEST(SimulatorTest, CompletedProcessUnregistersItself) {
   EXPECT_EQ(sim.live_process_count(), 0u);
 }
 
+TEST(SimulatorTest, LargeClosureTakesHeapFallbackAndFires) {
+  Simulator sim;
+  // 48-byte capture: too big for the inline payload buffer.
+  std::int64_t a = 1, b = 2, c = 3, d = 4, e = 5;
+  std::int64_t sum = 0;
+  sim.ScheduleAt(7, [a, b, c, d, e, &sum] { sum = a + b + c + d + e; });
+  sim.Run(10);
+  EXPECT_EQ(sum, 15);
+  EXPECT_EQ(sim.Now(), 7);
+}
+
+TEST(SimulatorTest, NonTriviallyCopyableClosureFires) {
+  Simulator sim;
+  std::string payload = "hello from the heap fallback";
+  std::string received;
+  sim.ScheduleAt(3, [payload, &received] { received = payload; });
+  sim.Run(10);
+  EXPECT_EQ(received, payload);
+}
+
+TEST(SimulatorTest, ShutdownFreesPendingHeapFallbackClosures) {
+  // A shared_ptr capture forces the heap fallback; Shutdown must free the
+  // never-fired closure (dropping the reference) without running it.
+  auto token = std::make_shared<int>(7);
+  bool fired = false;
+  {
+    Simulator sim;
+    sim.ScheduleAt(50, [token, &fired] { fired = true; });
+    sim.Run(10);  // horizon before the event: it stays pending
+    EXPECT_EQ(token.use_count(), 2);
+    sim.Shutdown();
+    EXPECT_EQ(token.use_count(), 1);
+  }
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, RequestStopMidEqualTimeBatchThenResume) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 6; ++i) {
+    sim.ScheduleAt(5, [&, i] {
+      order.push_back(i);
+      if (i == 1) {
+        sim.RequestStop();
+      }
+    });
+  }
+  sim.Run(100);
+  // The stop takes effect after the current event; the rest of the
+  // equal-time batch stays pending.
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(sim.Now(), 5);
+  EXPECT_EQ(sim.calendar_size(), 4u);
+  // A later Run picks the batch back up in the original FIFO order.
+  sim.Run(100);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+Process PushAfterDelay(Simulator& sim, std::vector<int>& order, Ticks delay,
+                       int id) {
+  co_await sim.Delay(delay);
+  order.push_back(id);
+}
+
+TEST(SimulatorTest, EqualTimeFifoAcrossEntryKindsAndTimes) {
+  // Interleaves closure entries and coroutine resumes across two fire
+  // times whose memo slots collide (10 and 14 mod 4), forcing multiple
+  // calendar buckets per time. The global order must still be (time,
+  // schedule order) regardless of entry kind or bucket layout.
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<int> expect_t10;
+  std::vector<int> expect_t14;
+  for (int i = 0; i < 16; ++i) {
+    const Ticks when = (i % 2 == 0) ? 10 : 14;
+    (when == 10 ? expect_t10 : expect_t14).push_back(i);
+    if (i % 4 < 2) {
+      sim.ScheduleAt(when, [&order, i] { order.push_back(i); });
+    } else {
+      // The process starts at time 0, so its resume entry is scheduled
+      // during the run; spawn order still decides arrival order.
+      sim.Spawn(PushAfterDelay(sim, order, when, i));
+    }
+  }
+  sim.Run(100);
+  // Closure entries are pushed at setup time, process resumes at time 0:
+  // within each fire time, all setup pushes precede all time-0 pushes,
+  // each group in schedule order.
+  std::vector<int> expected;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i : expect_t10) {
+      if ((pass == 0) == (i % 4 < 2)) {
+        expected.push_back(i);
+      }
+    }
+  }
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i : expect_t14) {
+      if ((pass == 0) == (i % 4 < 2)) {
+        expected.push_back(i);
+      }
+    }
+  }
+  EXPECT_EQ(order, expected);
+}
+
 Process Waiter(Simulator& sim, Event& event, std::vector<Ticks>& wakeups) {
   (void)sim;
   co_await event.Wait();
@@ -137,6 +245,29 @@ TEST(EventTest, LateWaiterWaitsForNextSignal) {
   event.Signal();
   sim.Run(200);
   ASSERT_EQ(wakeups.size(), 1u);
+}
+
+Process RepeatWaiter(Simulator& sim, Event& event, std::vector<Ticks>& wakeups,
+                     int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    co_await event.Wait();
+    wakeups.push_back(sim.Now());
+  }
+}
+
+TEST(EventTest, RewaitDuringBroadcastJoinsNextRound) {
+  // A waiter that re-waits immediately after waking must not be re-woken
+  // by the same Signal (the scratch-buffer swap empties the waiter list
+  // before any resume fires).
+  Simulator sim;
+  Event event(&sim);
+  std::vector<Ticks> wakeups;
+  sim.Spawn(RepeatWaiter(sim, event, wakeups, 2));
+  sim.ScheduleAt(10, [&] { event.Signal(); });
+  sim.ScheduleAt(20, [&] { event.Signal(); });
+  sim.Run(100);
+  EXPECT_EQ(wakeups, (std::vector<Ticks>{10, 20}));
+  EXPECT_EQ(event.waiter_count(), 0u);
 }
 
 Process OneShotConsumer(Simulator& sim, OneShot<int>& slot, int& out) {
@@ -195,6 +326,40 @@ TEST(MailboxTest, ReceiveDoesNotBlockWhenItemsQueued) {
   sim.Spawn(MailboxConsumer(sim, mailbox, received, 1));
   sim.Run(0);
   EXPECT_EQ(received, (std::vector<std::string>{"x"}));
+}
+
+Process DelayedConsumer(Simulator& sim, Mailbox<std::string>& mailbox,
+                        std::vector<std::string>& received, Ticks start,
+                        int count) {
+  co_await sim.Delay(start);
+  for (int i = 0; i < count; ++i) {
+    std::string item = co_await mailbox.Receive();
+    received.push_back(item);
+  }
+}
+
+TEST(MailboxTest, RivalConsumerDoesNotCrashParkedReceiver) {
+  // Hazard: a Push wakes parked receiver A, but before A's wakeup event
+  // fires, receiver B grabs the item via the non-blocking fast path. A's
+  // wakeup must re-park A (not crash on an empty queue), and A must still
+  // be first in line for the next item.
+  Simulator sim;
+  Mailbox<std::string> mailbox(&sim);
+  std::vector<std::string> a_got;
+  std::vector<std::string> b_got;
+  // A parks at t=0. The Push at t=10 schedules A's wakeup; B's Delay(10)
+  // resume was scheduled at t=0, i.e. after the setup-time Push closure,
+  // so B's fast-path Receive runs between the Push and A's wakeup.
+  sim.Spawn(DelayedConsumer(sim, mailbox, a_got, 0, 1));
+  sim.ScheduleAt(10, [&] { mailbox.Push("first"); });
+  sim.Spawn(DelayedConsumer(sim, mailbox, b_got, 10, 1));
+  sim.Run(50);
+  EXPECT_TRUE(a_got.empty());
+  EXPECT_EQ(b_got, (std::vector<std::string>{"first"}));
+  // A was re-parked at the front of the line: the next item is A's.
+  mailbox.Push("second");
+  sim.Run(100);
+  EXPECT_EQ(a_got, (std::vector<std::string>{"second"}));
 }
 
 Process UserOfResource(Simulator& sim, Resource& resource, Ticks start,

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_kernel.json, the tracked kernel perf baseline:
+#   1. bench/micro_kernel (google-benchmark, JSON) — events/sec for the
+#      resume, inline-closure, resource, and broadcast hot paths;
+#   2. a scaled fig12 sweep timed serially (CCSIM_JOBS=1) vs in parallel
+#      (CCSIM_JOBS=nproc), with a byte-identity check on the outputs.
+#
+# Usage: tools/bench_baseline.sh [build-dir]   (default: build)
+# Writes BENCH_kernel.json in the repo root. Compare against the checked-in
+# copy before/after kernel changes; identity_ok must stay true.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+scale="${CCSIM_BASELINE_SCALE:-0.1}"
+jobs="$(nproc)"
+
+micro="$build_dir/bench/micro_kernel"
+fig12="$build_dir/bench/fig12_short_xact_throughput"
+for bin in "$micro" "$fig12"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "missing $bin — build first: cmake --build $build_dir -j" >&2
+    exit 1
+  fi
+done
+
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build_dir/CMakeCache.txt")"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== micro_kernel (json) ==" >&2
+"$micro" --benchmark_format=json >"$tmp/micro.json"
+
+echo "== fig12 serial (CCSIM_JOBS=1, CCSIM_SCALE=$scale) ==" >&2
+serial_start=$(date +%s.%N)
+CCSIM_JOBS=1 CCSIM_SCALE="$scale" "$fig12" >"$tmp/fig12_serial.txt"
+serial_end=$(date +%s.%N)
+
+echo "== fig12 parallel (CCSIM_JOBS=$jobs, CCSIM_SCALE=$scale) ==" >&2
+par_start=$(date +%s.%N)
+CCSIM_JOBS="$jobs" CCSIM_SCALE="$scale" "$fig12" >"$tmp/fig12_parallel.txt"
+par_end=$(date +%s.%N)
+
+if cmp -s "$tmp/fig12_serial.txt" "$tmp/fig12_parallel.txt"; then
+  identity=true
+else
+  identity=false
+  echo "WARNING: serial and parallel fig12 outputs differ!" >&2
+  diff "$tmp/fig12_serial.txt" "$tmp/fig12_parallel.txt" | head -20 >&2
+fi
+
+python3 - "$tmp/micro.json" "$repo_root/BENCH_kernel.json" <<EOF
+import json, sys
+micro = json.load(open(sys.argv[1]))
+serial_s = $serial_end - $serial_start
+parallel_s = $par_end - $par_start
+identity_ok = "$identity" == "true"
+out = {
+    "host": {
+        "cores": $jobs,
+        "cpu_mhz": micro["context"].get("mhz_per_cpu"),
+        "build_type": "$build_type",
+        "date": micro["context"].get("date"),
+    },
+    "micro_kernel": [
+        {
+            "name": b["name"],
+            "events_per_second": b.get("items_per_second"),
+            "cpu_time_ns": b.get("cpu_time"),
+        }
+        for b in micro["benchmarks"]
+    ],
+    "fig12_sweep": {
+        "scale": $scale,
+        "jobs": $jobs,
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 2) if parallel_s else None,
+        "identity_ok": identity_ok,
+    },
+}
+json.dump(out, open(sys.argv[2], "w"), indent=2)
+open(sys.argv[2], "a").write("\n")
+print("wrote", sys.argv[2], file=sys.stderr)
+EOF

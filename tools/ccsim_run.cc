@@ -17,6 +17,7 @@
 
 #include "config/params.h"
 #include "runner/experiment.h"
+#include "runner/sweep.h"
 
 namespace {
 
@@ -69,6 +70,10 @@ void PrintUsage() {
       "                          (repeatable)\n"
       "  --recovery              enable the recovery layer without faults\n"
       "  --rpc-timeout-ms=D --lease-ms=D --idle-timeout-ms=D\n"
+      "  --sweep-clients=LIST    run once per client count (e.g. 2,10,30,50)\n"
+      "                          and print one CSV row per run\n"
+      "  --jobs=N                worker threads for --sweep-clients\n"
+      "                          (default: CCSIM_JOBS, else all cores)\n"
       "  --csv                   one-line machine-readable output\n"
       "  --list                  list algorithm names and exit\n"
       "  --help                  this text\n");
@@ -83,6 +88,53 @@ bool ParseValue(const char* arg, const char* name, std::string* out) {
   return true;
 }
 
+void PrintCsvHeader() {
+  std::printf(
+      "algorithm,clients,locality,prob_write,resp_s,resp_ci_s,tput,"
+      "commits,aborts,deadlocks,stale,cert,srv_cpu,net,disk,client_cpu,"
+      "cache_hit,buffer_hit,messages,packets,stalled,"
+      "dropped,duplicated,spikes,down_drops,retries,timeouts,"
+      "timeout_aborts,crash_aborts,lease_exp,dup_suppressed,gc_xacts,"
+      "client_crashes,server_crashes,recovery_s,lost,unknown\n");
+}
+
+void PrintCsvRow(const std::string& algorithm_name,
+                 const ExperimentConfig& cfg, const RunResult& r) {
+  std::printf(
+      "%s,%d,%.3f,%.3f,%.6f,%.6f,%.4f,%llu,%llu,%llu,%llu,%llu,%.4f,"
+      "%.4f,%.4f,%.4f,%.4f,%.4f,%llu,%llu,%d,"
+      "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+      "%.4f,%llu,%llu\n",
+      algorithm_name.c_str(), cfg.system.num_clients,
+      cfg.transaction.inter_xact_loc, cfg.transaction.prob_write,
+      r.mean_response_s, r.response_ci_s, r.throughput_tps,
+      static_cast<unsigned long long>(r.commits),
+      static_cast<unsigned long long>(r.aborts),
+      static_cast<unsigned long long>(r.deadlock_aborts),
+      static_cast<unsigned long long>(r.stale_aborts),
+      static_cast<unsigned long long>(r.cert_aborts), r.server_cpu_util,
+      r.network_util, r.data_disk_util, r.client_cpu_util,
+      r.client_hit_ratio, r.server_buffer_hit_ratio,
+      static_cast<unsigned long long>(r.messages),
+      static_cast<unsigned long long>(r.packets),
+      static_cast<int>(r.stalled),
+      static_cast<unsigned long long>(r.messages_dropped),
+      static_cast<unsigned long long>(r.messages_duplicated),
+      static_cast<unsigned long long>(r.delay_spikes),
+      static_cast<unsigned long long>(r.down_drops),
+      static_cast<unsigned long long>(r.rpc_retries),
+      static_cast<unsigned long long>(r.rpc_timeouts),
+      static_cast<unsigned long long>(r.timeout_aborts),
+      static_cast<unsigned long long>(r.crash_aborts),
+      static_cast<unsigned long long>(r.lease_expirations),
+      static_cast<unsigned long long>(r.duplicates_suppressed),
+      static_cast<unsigned long long>(r.gc_xacts),
+      static_cast<unsigned long long>(r.client_crashes),
+      static_cast<unsigned long long>(r.server_crashes), r.recovery_seconds,
+      static_cast<unsigned long long>(r.transactions_lost),
+      static_cast<unsigned long long>(r.unknown_outcomes));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -92,6 +144,8 @@ int main(int argc, char** argv) {
   cfg.control.target_commits = 3000;
   cfg.control.max_measure_seconds = 600;
   bool csv = false;
+  int jobs = 0;  // 0 = DefaultJobs()
+  std::vector<int> sweep_clients;
   std::string algorithm_name = "2pl";
 
   for (int i = 1; i < argc; ++i) {
@@ -201,6 +255,30 @@ int main(int argc, char** argv) {
       cfg.fault.lease_ms = std::atof(value.c_str());
     } else if (ParseValue(arg, "--idle-timeout-ms", &value)) {
       cfg.fault.xact_idle_timeout_ms = std::atof(value.c_str());
+    } else if (ParseValue(arg, "--jobs", &value)) {
+      jobs = std::atoi(value.c_str());
+      if (jobs < 1) {
+        std::fprintf(stderr, "--jobs wants a positive integer\n");
+        return 2;
+      }
+    } else if (ParseValue(arg, "--sweep-clients", &value)) {
+      for (std::size_t pos = 0; pos < value.size();) {
+        const std::size_t comma = value.find(',', pos);
+        const std::string item =
+            value.substr(pos, comma == std::string::npos ? std::string::npos
+                                                         : comma - pos);
+        const int clients = std::atoi(item.c_str());
+        if (clients < 1) {
+          std::fprintf(stderr, "--sweep-clients wants e.g. 2,10,30,50\n");
+          return 2;
+        }
+        sweep_clients.push_back(clients);
+        pos = comma == std::string::npos ? value.size() : comma + 1;
+      }
+      if (sweep_clients.empty()) {
+        std::fprintf(stderr, "--sweep-clients wants e.g. 2,10,30,50\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg);
       return 2;
@@ -222,6 +300,34 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!sweep_clients.empty()) {
+    // One run per client count, fanned across worker threads. Rows print
+    // in sweep order (results are merged in submission order), so the
+    // output is byte-identical regardless of --jobs.
+    std::vector<ExperimentConfig> configs;
+    configs.reserve(sweep_clients.size());
+    for (int clients : sweep_clients) {
+      cfg.system.num_clients = clients;
+      configs.push_back(cfg);
+    }
+    const auto results = ccsim::runner::RunExperiments(
+        configs, jobs > 0 ? jobs : ccsim::runner::DefaultJobs());
+    PrintCsvHeader();
+    bool any_stalled = false;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].ok()) {
+        std::fprintf(stderr, "invalid configuration (clients=%d): %s\n",
+                     sweep_clients[i],
+                     results[i].status().ToString().c_str());
+        return 1;
+      }
+      const RunResult& r = results[i].ValueOrDie();
+      PrintCsvRow(algorithm_name, configs[i], r);
+      any_stalled = any_stalled || r.stalled;
+    }
+    return any_stalled ? 3 : 0;
+  }
+
   const ccsim::Result<RunResult> result = ccsim::runner::RunExperiment(cfg);
   if (!result.ok()) {
     std::fprintf(stderr, "invalid configuration: %s\n",
@@ -231,46 +337,8 @@ int main(int argc, char** argv) {
   const RunResult& r = result.ValueOrDie();
 
   if (csv) {
-    std::printf(
-        "algorithm,clients,locality,prob_write,resp_s,resp_ci_s,tput,"
-        "commits,aborts,deadlocks,stale,cert,srv_cpu,net,disk,client_cpu,"
-        "cache_hit,buffer_hit,messages,packets,stalled,"
-        "dropped,duplicated,spikes,down_drops,retries,timeouts,"
-        "timeout_aborts,crash_aborts,lease_exp,dup_suppressed,gc_xacts,"
-        "client_crashes,server_crashes,recovery_s,lost,unknown\n");
-    std::printf(
-        "%s,%d,%.3f,%.3f,%.6f,%.6f,%.4f,%llu,%llu,%llu,%llu,%llu,%.4f,"
-        "%.4f,%.4f,%.4f,%.4f,%.4f,%llu,%llu,%d,"
-        "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
-        "%.4f,%llu,%llu\n",
-        algorithm_name.c_str(), cfg.system.num_clients,
-        cfg.transaction.inter_xact_loc, cfg.transaction.prob_write,
-        r.mean_response_s, r.response_ci_s, r.throughput_tps,
-        static_cast<unsigned long long>(r.commits),
-        static_cast<unsigned long long>(r.aborts),
-        static_cast<unsigned long long>(r.deadlock_aborts),
-        static_cast<unsigned long long>(r.stale_aborts),
-        static_cast<unsigned long long>(r.cert_aborts), r.server_cpu_util,
-        r.network_util, r.data_disk_util, r.client_cpu_util,
-        r.client_hit_ratio, r.server_buffer_hit_ratio,
-        static_cast<unsigned long long>(r.messages),
-        static_cast<unsigned long long>(r.packets),
-        static_cast<int>(r.stalled),
-        static_cast<unsigned long long>(r.messages_dropped),
-        static_cast<unsigned long long>(r.messages_duplicated),
-        static_cast<unsigned long long>(r.delay_spikes),
-        static_cast<unsigned long long>(r.down_drops),
-        static_cast<unsigned long long>(r.rpc_retries),
-        static_cast<unsigned long long>(r.rpc_timeouts),
-        static_cast<unsigned long long>(r.timeout_aborts),
-        static_cast<unsigned long long>(r.crash_aborts),
-        static_cast<unsigned long long>(r.lease_expirations),
-        static_cast<unsigned long long>(r.duplicates_suppressed),
-        static_cast<unsigned long long>(r.gc_xacts),
-        static_cast<unsigned long long>(r.client_crashes),
-        static_cast<unsigned long long>(r.server_crashes), r.recovery_seconds,
-        static_cast<unsigned long long>(r.transactions_lost),
-        static_cast<unsigned long long>(r.unknown_outcomes));
+    PrintCsvHeader();
+    PrintCsvRow(algorithm_name, cfg, r);
     return 0;
   }
 
