@@ -52,6 +52,9 @@ class BenchRunner {
     if (cfg.control.target_commits < 200) {
       cfg.control.target_commits = 200;
     }
+    if (scale_.check) {
+      cfg.checker.enabled = true;
+    }
     return cfg;
   }
 

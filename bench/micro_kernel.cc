@@ -13,6 +13,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "config/params.h"
+#include "runner/experiment.h"
 #include "sim/event.h"
 #include "sim/process.h"
 #include "sim/resource.h"
@@ -123,6 +125,43 @@ void BM_EventBroadcast(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 32 * kRounds);
 }
 BENCHMARK(BM_EventBroadcast);
+
+/// Full-experiment guard pair for the consistency oracle's pay-for-use
+/// contract: the same contended run with checker.enabled off and on. Items
+/// are committed transactions, so items_per_second is directly comparable
+/// between the two. `tools/bench_baseline.sh` asserts the Off rate stays
+/// within tolerance of the tracked baseline (the disabled checker must
+/// cost nothing) and records the On overhead as the price of checking.
+runner::RunResult RunGuardExperiment(bool checker_enabled) {
+  config::ExperimentConfig cfg = config::BaseConfig();
+  cfg.system.num_clients = 8;
+  cfg.transaction.prob_write = 0.2;
+  cfg.transaction.inter_xact_loc = 0.25;
+  cfg.control.seed = 7;
+  cfg.control.warmup_seconds = 5;
+  cfg.control.target_commits = 500;
+  cfg.control.max_measure_seconds = 300;
+  cfg.checker.enabled = checker_enabled;
+  return runner::RunExperiment(cfg).ValueOrDie();
+}
+
+void BM_ExperimentCheckerOff(benchmark::State& state) {
+  std::uint64_t commits = 0;
+  for (auto _ : state) {
+    commits += RunGuardExperiment(false).commits;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(commits));
+}
+BENCHMARK(BM_ExperimentCheckerOff);
+
+void BM_ExperimentCheckerOn(benchmark::State& state) {
+  std::uint64_t commits = 0;
+  for (auto _ : state) {
+    commits += RunGuardExperiment(true).commits;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(commits));
+}
+BENCHMARK(BM_ExperimentCheckerOn);
 
 }  // namespace
 }  // namespace ccsim

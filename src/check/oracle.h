@@ -1,0 +1,184 @@
+#ifndef CCSIM_CHECK_ORACLE_H_
+#define CCSIM_CHECK_ORACLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "check/serialization_graph.h"
+#include "db/database.h"
+
+namespace ccsim::check {
+
+/// Run-time-optional consistency oracle: observes every committed
+/// transaction's read set (page, version seen) and write set (page, version
+/// installed) at the server's commit point, maintains the direct
+/// serialization graph online, and aborts the run with a cycle dump the
+/// moment a non-serializable history commits. A coherence invariant auditor
+/// rides along: an audit hook (installed by the experiment runner) walks
+/// client caches, the lock table, the callback directory, and the buffer
+/// pool after every commit, and protocol code reports trusted local reads
+/// and unknown commit outcomes so structural invariants are checked where
+/// they are claimed, not where they fail.
+///
+/// One oracle is owned per run and touches neither the event calendar nor
+/// any RNG stream, so checker-on runs are deterministic at any sweep
+/// `--jobs` value and checker-off runs are bit-identical to a build without
+/// the checker (every hook is a null-pointer branch).
+class Oracle {
+ public:
+  struct Options {
+    /// Dump and std::abort() on a violation (the production setting; unit
+    /// tests clear it and inspect the violation report instead).
+    bool abort_on_violation = true;
+    /// Free-form run label ("callback, seed 7") printed with violations.
+    std::string context;
+  };
+
+  /// `versions` is the server's durable version table — the authority for
+  /// "latest committed version" in currency checks. May be null in unit
+  /// tests that feed the graph directly.
+  Oracle(const db::VersionTable* versions, Options options);
+
+  Oracle(const Oracle&) = delete;
+  Oracle& operator=(const Oracle&) = delete;
+
+  // --- commit-point feed (server) ---
+
+  /// A transaction committed: `reads` holds (page, version read) and
+  /// `writes` (page, version installed). Feeds the serialization graph;
+  /// fatal (with cycle dump) if the history stops being serializable.
+  void OnCommit(int client, std::uint64_t xact, std::int64_t at,
+                const std::vector<std::pair<db::PageId, std::uint64_t>>& reads,
+                const std::vector<std::pair<db::PageId, std::uint64_t>>& writes);
+
+  /// A server-side transaction was aborted (abort pipeline, GC, or crash).
+  /// Only consumed by unknown-outcome reconciliation.
+  void OnAbortObserved(std::uint64_t xact);
+
+  /// A commit carried a read of `read_version` while `current_version` was
+  /// already committed. With the oracle attached this is evidence, not yet
+  /// proof, of a violation — the graph decides — but it is recorded as
+  /// provenance for the eventual cycle dump.
+  void NoteStaleCommitRead(int client, std::uint64_t xact, db::PageId page,
+                           std::uint64_t read_version,
+                           std::uint64_t current_version);
+
+  // --- client-side feeds ---
+
+  /// A commit RPC whose outcome the client never learned.
+  void OnUnknownOutcome(std::uint64_t xact);
+
+  /// A client served a read from its cache without contacting the server
+  /// (retained callback lock or leased notified copy). Asserts the trust is
+  /// justified at the moment of use: the lease (if any) has not expired,
+  /// and — for retained locks on a fault-free run, where no crash/GC window
+  /// exists — the cached version is the latest committed one.
+  void OnTrustedLocalRead(int client, db::PageId page, std::uint64_t version,
+                          bool retained_lock, std::int64_t lease_until,
+                          std::int64_t now, bool fault_free);
+
+  /// A client finished an attempt with a structurally-clean cache (no pins,
+  /// no dirty pages, no per-transaction flags). Counted only; the checks
+  /// themselves live in ClientCache::AuditEndOfAttempt.
+  void NoteClientAudit() { ++client_audits_; }
+
+  // --- invariant auditor ---
+
+  /// Installed by the experiment runner; walks server + client structures.
+  void set_audit_hook(std::function<void()> hook) {
+    audit_hook_ = std::move(hook);
+  }
+
+  /// Runs the audit hook (called by the server after every commit).
+  void AuditAtCommit();
+
+  /// Post-recovery structural invariants: a freshly-replayed server has no
+  /// active transactions, holds no locks, and owns no uncommitted frames.
+  void AuditPostRecovery(std::size_t active_xacts, std::size_t locks_held,
+                         std::size_t uncommitted_frames);
+
+  // --- end of run ---
+
+  /// Reconciles unknown outcomes against the committed set: each must have
+  /// resolved to exactly one of committed / aborted, and the client-side
+  /// count must match `reported_unknown_outcomes` from the metrics report.
+  void Finalize(std::uint64_t reported_unknown_outcomes);
+
+  // --- counters (surfaced in RunResult / report.cc) ---
+
+  std::uint64_t commits_observed() const { return commits_observed_; }
+  std::uint64_t edges() const { return graph_.edge_count(); }
+  std::uint64_t scc_checks() const { return graph_.reorder_checks(); }
+  std::uint64_t max_frontier() const { return graph_.max_frontier(); }
+  std::uint64_t audits() const { return audits_; }
+  std::uint64_t client_audits() const { return client_audits_; }
+  std::uint64_t trusted_reads() const { return trusted_reads_; }
+  std::uint64_t stale_commit_reads() const { return stale_commit_reads_; }
+  std::uint64_t unknown_resolved_committed() const {
+    return unknown_resolved_committed_;
+  }
+  std::uint64_t unknown_resolved_aborted() const {
+    return unknown_resolved_aborted_;
+  }
+
+  /// Non-empty once a serializability violation was detected (tests with
+  /// abort_on_violation off read this; production runs never get here).
+  const std::string& violation_report() const { return violation_report_; }
+
+ private:
+  struct XactInfo {
+    int client = 0;
+    std::uint64_t xact = 0;
+    std::int64_t at = 0;
+  };
+
+  /// Per-page bookkeeping over the committed version chain. Versions are
+  /// dense (each committed write bumps by exactly one), which the oracle
+  /// asserts and then exploits: the writer of any version is a map lookup.
+  struct PageState {
+    /// Latest committed version seen so far; 0 until first observation
+    /// (reads of untouched pages establish the baseline lazily).
+    std::uint64_t latest = 0;
+    int latest_writer = -1;
+    std::vector<int> readers_of_latest;
+    std::unordered_map<std::uint64_t, int> writer_of;
+  };
+
+  void AddEdgeChecked(int from, int to, EdgeKind kind, db::PageId page,
+                      std::uint64_t version);
+  /// Formats + records the violation; aborts unless tests disabled that.
+  void Violate(const SerializationGraph::Cycle& cycle);
+  std::string DescribeNode(int node) const;
+
+  const db::VersionTable* versions_;
+  Options options_;
+  SerializationGraph graph_;
+  std::unordered_map<std::uint64_t, int> node_of_;
+  std::vector<XactInfo> info_;
+  std::unordered_map<db::PageId, PageState> pages_;
+
+  std::unordered_set<std::uint64_t> unknown_;
+  std::unordered_set<std::uint64_t> aborted_;
+  std::vector<std::string> stale_notes_;
+
+  std::function<void()> audit_hook_;
+
+  std::uint64_t commits_observed_ = 0;
+  std::uint64_t audits_ = 0;
+  std::uint64_t client_audits_ = 0;
+  std::uint64_t trusted_reads_ = 0;
+  std::uint64_t stale_commit_reads_ = 0;
+  std::uint64_t unknown_resolved_committed_ = 0;
+  std::uint64_t unknown_resolved_aborted_ = 0;
+  std::string violation_report_;
+  bool finalized_ = false;
+};
+
+}  // namespace ccsim::check
+
+#endif  // CCSIM_CHECK_ORACLE_H_

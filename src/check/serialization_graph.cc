@@ -1,0 +1,159 @@
+#include "check/serialization_graph.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace ccsim::check {
+
+const char* EdgeKindName(EdgeKind kind) {
+  switch (kind) {
+    case EdgeKind::kWriteRead:
+      return "WR";
+    case EdgeKind::kWriteWrite:
+      return "WW";
+    case EdgeKind::kReadWrite:
+      return "RW";
+  }
+  return "?";
+}
+
+int SerializationGraph::AddNode() {
+  const int id = static_cast<int>(out_.size());
+  out_.emplace_back();
+  in_.emplace_back();
+  ord_.push_back(id);
+  mark_.push_back(0);
+  parent_.push_back(-1);
+  return id;
+}
+
+const SerializationGraph::EdgeInfo* SerializationGraph::FindEdge(
+    int from, int to) const {
+  auto it = edges_.find(EdgeKey(from, to));
+  return it == edges_.end() ? nullptr : &it->second;
+}
+
+bool SerializationGraph::AddEdge(int from, int to, const EdgeInfo& info,
+                                 Cycle* cycle) {
+  CCSIM_CHECK(from >= 0 && from < static_cast<int>(out_.size()));
+  CCSIM_CHECK(to >= 0 && to < static_cast<int>(out_.size()));
+  if (from == to) {
+    cycle->nodes = {from};
+    return true;
+  }
+  if (!edges_.emplace(EdgeKey(from, to), info).second) {
+    // Already present; the graph is unchanged and still acyclic.
+    return false;
+  }
+  out_[from].push_back(to);
+  in_[to].push_back(from);
+  ++edge_count_;
+  if (ord_[from] < ord_[to]) {
+    return false;  // insertion respects the current order; no search needed
+  }
+  // Affected region: ord slots in [ord[to], ord[from]].
+  ++reorder_checks_;
+  std::vector<int> forward;
+  std::vector<int> backward;
+  ++mark_epoch_;
+  if (ForwardSearch(to, from, ord_[from], &forward, cycle)) {
+    return true;
+  }
+  BackwardSearch(from, ord_[to], &backward);
+  max_frontier_ = std::max(
+      max_frontier_,
+      static_cast<std::uint64_t>(forward.size() + backward.size()));
+  Reorder(&backward, &forward);
+  return false;
+}
+
+bool SerializationGraph::ForwardSearch(int start, int target, int bound,
+                                       std::vector<int>* visited,
+                                       Cycle* cycle) {
+  std::vector<int> stack = {start};
+  mark_[static_cast<std::size_t>(start)] = mark_epoch_;
+  parent_[static_cast<std::size_t>(start)] = -1;
+  while (!stack.empty()) {
+    const int node = stack.back();
+    stack.pop_back();
+    visited->push_back(node);
+    for (int next : out_[static_cast<std::size_t>(node)]) {
+      if (next == target) {
+        // Path target→…? No: start..node→target closes the cycle through
+        // the new edge target→start. Reconstruct start..node, then append
+        // target so consecutive pairs (and back to front) are all edges.
+        std::vector<int> path = {node};
+        for (int p = parent_[static_cast<std::size_t>(node)]; p != -1;
+             p = parent_[static_cast<std::size_t>(p)]) {
+          path.push_back(p);
+        }
+        std::reverse(path.begin(), path.end());  // start … node
+        path.push_back(target);                  // edge node → target
+        cycle->nodes = std::move(path);          // edge target → start closes
+        return true;
+      }
+      if (ord_[static_cast<std::size_t>(next)] > bound) {
+        continue;  // outside the affected region; cannot reach `target`
+      }
+      if (mark_[static_cast<std::size_t>(next)] == mark_epoch_) {
+        continue;
+      }
+      mark_[static_cast<std::size_t>(next)] = mark_epoch_;
+      parent_[static_cast<std::size_t>(next)] = node;
+      stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+void SerializationGraph::BackwardSearch(int start, int bound,
+                                        std::vector<int>* visited) {
+  std::vector<int> stack = {start};
+  mark_[static_cast<std::size_t>(start)] = mark_epoch_;
+  while (!stack.empty()) {
+    const int node = stack.back();
+    stack.pop_back();
+    visited->push_back(node);
+    for (int prev : in_[static_cast<std::size_t>(node)]) {
+      if (ord_[static_cast<std::size_t>(prev)] < bound) {
+        continue;
+      }
+      if (mark_[static_cast<std::size_t>(prev)] == mark_epoch_) {
+        continue;
+      }
+      mark_[static_cast<std::size_t>(prev)] = mark_epoch_;
+      stack.push_back(prev);
+    }
+  }
+}
+
+void SerializationGraph::Reorder(std::vector<int>* backward,
+                                 std::vector<int>* forward) {
+  auto by_ord = [this](int a, int b) {
+    return ord_[static_cast<std::size_t>(a)] < ord_[static_cast<std::size_t>(b)];
+  };
+  std::sort(backward->begin(), backward->end(), by_ord);
+  std::sort(forward->begin(), forward->end(), by_ord);
+  // Pool the ord slots both sets occupy, then hand them back in ascending
+  // order: first to the backward set (everything that must precede the new
+  // edge's source), then to the forward set.
+  std::vector<int> slots;
+  slots.reserve(backward->size() + forward->size());
+  for (int node : *backward) {
+    slots.push_back(ord_[static_cast<std::size_t>(node)]);
+  }
+  for (int node : *forward) {
+    slots.push_back(ord_[static_cast<std::size_t>(node)]);
+  }
+  std::sort(slots.begin(), slots.end());
+  std::size_t slot = 0;
+  for (int node : *backward) {
+    ord_[static_cast<std::size_t>(node)] = slots[slot++];
+  }
+  for (int node : *forward) {
+    ord_[static_cast<std::size_t>(node)] = slots[slot++];
+  }
+}
+
+}  // namespace ccsim::check

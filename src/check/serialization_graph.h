@@ -1,0 +1,109 @@
+#ifndef CCSIM_CHECK_SERIALIZATION_GRAPH_H_
+#define CCSIM_CHECK_SERIALIZATION_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "db/database.h"
+
+namespace ccsim::check {
+
+/// Why one committed transaction must precede another in any equivalent
+/// serial order.
+enum class EdgeKind {
+  /// Writer → reader: the reader saw the writer's installed version.
+  kWriteRead,
+  /// Writer → next writer of the same page (version chain order).
+  kWriteWrite,
+  /// Reader → overwriter: the reader saw the version the overwriter
+  /// replaced (anti-dependency).
+  kReadWrite,
+};
+
+const char* EdgeKindName(EdgeKind kind);
+
+/// Direct serialization graph over committed transactions with online cycle
+/// detection. Nodes are appended as transactions commit; edges carry the
+/// page and version that induced them so a violation report can name the
+/// exact stale copy.
+///
+/// Acyclicity is maintained incrementally in Pearce–Kelly style: a
+/// topological order `ord` is kept alongside the adjacency lists, and an
+/// edge u→v with ord[v] < ord[u] triggers a search bounded by the affected
+/// region [ord[v], ord[u]] — a forward pass from v and a backward pass from
+/// u — followed by a reorder of only the visited nodes. Commit streams are
+/// nearly topological already (most edges point at the newest node), so the
+/// common case inserts an edge without any search and long runs avoid the
+/// O(n) per-edge cost of recomputing the order from scratch.
+class SerializationGraph {
+ public:
+  struct EdgeInfo {
+    EdgeKind kind = EdgeKind::kWriteRead;
+    db::PageId page = 0;
+    /// The version that induced the edge: the version read (kWriteRead,
+    /// kReadWrite) or the version the successor installed (kWriteWrite).
+    std::uint64_t version = 0;
+  };
+
+  /// A cycle found while inserting an edge: `nodes[i] → nodes[i + 1]` and
+  /// `nodes.back() → nodes.front()` are all edges of the graph.
+  struct Cycle {
+    std::vector<int> nodes;
+  };
+
+  /// Appends a node at the end of the topological order; returns its id.
+  int AddNode();
+
+  /// Inserts `from → to`. Returns true and fills `*cycle` if the edge
+  /// closes a cycle (the graph is left with the edge in place; the caller
+  /// is expected to abort the run). Duplicate edges are ignored — the first
+  /// inserted provenance wins.
+  bool AddEdge(int from, int to, const EdgeInfo& info, Cycle* cycle);
+
+  /// Provenance of an existing edge, or nullptr.
+  const EdgeInfo* FindEdge(int from, int to) const;
+
+  std::size_t node_count() const { return out_.size(); }
+  std::uint64_t edge_count() const { return edge_count_; }
+  /// Edges that required a cycle-check search (the incremental analogue of
+  /// an SCC check); the cheap in-order insertions are not counted.
+  std::uint64_t reorder_checks() const { return reorder_checks_; }
+  /// Largest affected region any single search visited.
+  std::uint64_t max_frontier() const { return max_frontier_; }
+
+ private:
+  static std::uint64_t EdgeKey(int from, int to) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from))
+            << 32) |
+           static_cast<std::uint32_t>(to);
+  }
+
+  /// DFS forward from `start` through nodes with ord <= `bound`. Returns
+  /// true (and fills `*cycle` via the parent map) if `target` is reached.
+  bool ForwardSearch(int start, int target, int bound,
+                     std::vector<int>* visited, Cycle* cycle);
+  void BackwardSearch(int start, int bound, std::vector<int>* visited);
+  /// Re-packs the ord slots of `backward` ∪ `forward` so every backward
+  /// node precedes every forward node, preserving relative order.
+  void Reorder(std::vector<int>* backward, std::vector<int>* forward);
+
+  std::vector<std::vector<int>> out_;
+  std::vector<std::vector<int>> in_;
+  /// Node → position in the maintained topological order.
+  std::vector<int> ord_;
+  std::unordered_map<std::uint64_t, EdgeInfo> edges_;
+  /// Scratch for searches (index by node id, epoch-stamped to avoid a
+  /// clear per search).
+  std::vector<std::uint64_t> mark_;
+  std::vector<int> parent_;
+  std::uint64_t mark_epoch_ = 0;
+
+  std::uint64_t edge_count_ = 0;
+  std::uint64_t reorder_checks_ = 0;
+  std::uint64_t max_frontier_ = 0;
+};
+
+}  // namespace ccsim::check
+
+#endif  // CCSIM_CHECK_SERIALIZATION_GRAPH_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "check/oracle.h"
 #include "proto/protocol.h"
 #include "util/macros.h"
 
@@ -150,8 +151,18 @@ sim::Task<net::Message> Client::Rpc(net::Message msg) {
   // (retransmissions exhausted). Abort the attempt locally and hand the
   // protocol a synthetic aborted reply so it unwinds normally.
   CCSIM_CHECK(resilient_);
-  if (gave_up && msg.type == net::MsgType::kCommitRequest) {
+  // The outcome of a commit request is unknown whenever at least one
+  // transmission went out and no reply came back — that covers both
+  // exhausted retransmissions *and* a crash cutting the wait short (the
+  // server may have committed either way). Counting only the give-up case
+  // used to under-report against metrics.h's documented contract; the
+  // oracle reconciles each of these against the committed set at the end
+  // of the run.
+  if (msg.type == net::MsgType::kCommitRequest && !first_send) {
     metrics_->RecordUnknownOutcome();
+    if (check::Oracle* oracle = metrics_->oracle()) {
+      oracle->OnUnknownOutcome(msg.xact);
+    }
   }
   if (current_xact_ != 0 && msg.xact == current_xact_ && !abort_flag_) {
     abort_flag_ = true;
@@ -324,6 +335,13 @@ sim::Process Client::Driver() {
       protocol_->OnAttemptStart();
       const bool committed = co_await protocol_->RunAttempt(spec);
       co_await protocol_->OnAttemptEnd(committed);
+      if (metrics_->oracle() != nullptr && !crash_dirty_) {
+        // Attempt-boundary coherence audit: the protocol must leave the
+        // cache structurally clean (a crashed cache is exempt — its wipe
+        // is still owed at the top of the next attempt).
+        cache_.AuditEndOfAttempt();
+        metrics_->oracle()->NoteClientAudit();
+      }
       if (committed) {
         break;
       }

@@ -1,5 +1,7 @@
 #include "client/client_cache.h"
 
+#include "util/macros.h"
+
 namespace ccsim::client {
 
 std::vector<ClientCache::Evicted> ClientCache::Insert(db::PageId page,
@@ -33,6 +35,27 @@ void ClientCache::EndTransaction() {
     info->requested_this_xact = false;
     info->lock = PageLock::kNone;
   }
+}
+
+void ClientCache::AuditEndOfAttempt() const {
+  lru_.ForEach([&](const LruTable<db::PageId, CachedPage>::Entry& e) {
+    CCSIM_CHECK_MSG(e.pin_count == 0,
+                    "page %d still pinned after the attempt ended", e.key);
+    CCSIM_CHECK_MSG(!e.value.dirty,
+                    "page %d still dirty after the attempt ended (neither "
+                    "shipped with the commit nor dropped by the abort)",
+                    e.key);
+    CCSIM_CHECK_MSG(!e.value.checked_this_xact &&
+                    !e.value.requested_this_xact,
+                    "page %d kept a per-transaction flag across the "
+                    "attempt boundary", e.key);
+    CCSIM_CHECK_MSG(e.value.lock == PageLock::kNone,
+                    "page %d kept a transaction lock across the attempt "
+                    "boundary", e.key);
+    CCSIM_CHECK_MSG(e.value.retained || !e.value.retained_x,
+                    "page %d marked retained-exclusive without being "
+                    "retained", e.key);
+  });
 }
 
 std::vector<db::PageId> ClientCache::DirtyPages() const {

@@ -92,6 +92,11 @@ class ClientCache {
   /// flags and locks.
   void EndTransaction();
 
+  /// Consistency-oracle audit at the attempt boundary (after the
+  /// protocol's OnAttemptEnd): no page may remain pinned, dirty, locked,
+  /// or flagged for the finished transaction. Fatal on violation.
+  void AuditEndOfAttempt() const;
+
   /// Visits every cached page (MRU to LRU): fn(PageId, const CachedPage&).
   template <typename Fn>
   void ForEach(Fn&& fn) const {

@@ -144,6 +144,18 @@ struct AlgorithmParams {
   bool explicit_evict_notices = false;
   /// Disable the log manager (used by the ACL verification experiment).
   bool enable_log_manager = true;
+  /// TEST ONLY: certification commits without backward validation. Exists
+  /// to prove the consistency oracle catches a protocol that commits
+  /// non-serializable histories; never set outside tests.
+  bool test_skip_validation = false;
+};
+
+/// Run-time-optional consistency checking (src/check): the serializability
+/// oracle plus the coherence invariant auditor. Off by default and strictly
+/// pay-for-use: with `enabled` false every hook is a null-pointer branch
+/// and the simulation is bit-identical to a build without the checker.
+struct CheckerParams {
+  bool enabled = false;
 };
 
 /// Simulation run control (not a paper table; measurement methodology).
@@ -230,6 +242,7 @@ struct ExperimentConfig {
   AlgorithmParams algorithm;
   ControlParams control;
   FaultParams fault;
+  CheckerParams checker;
 
   /// The transaction types actually in effect (the mix, or the single
   /// primary type).

@@ -5,6 +5,7 @@
 
 #include <cstdlib>
 
+#include "check/oracle.h"
 #include "util/macros.h"
 
 namespace ccsim::proto {
@@ -41,6 +42,12 @@ sim::Task<bool> CallbackClient::ReadObject(const workload::Step& step) {
       } else {
         // The whole point of callback locking: a retained lock guarantees
         // validity, so the read needs no server contact at all.
+        if (check::Oracle* oracle = c_.metrics().oracle()) {
+          oracle->OnTrustedLocalRead(c_.id(), page, entry->version,
+                                     /*retained_lock=*/true,
+                                     entry->lease_until, c_.simulator().Now(),
+                                     /*fault_free=*/!c_.resilient());
+        }
         entry->lock = (retain_write_locks_ && entry->retained_x)
                           ? client::PageLock::kExclusive
                           : client::PageLock::kShared;

@@ -189,10 +189,14 @@ sim::Task<void> CertificationServer::HandleCommit(net::Message msg) {
     co_return;
   }
   // Backward validation: all read versions must still be current.
+  // skip_validation_ (test only) commits blind — the broken variant the
+  // consistency oracle is expected to convict with a cycle.
   std::vector<db::PageId> stale;
-  for (std::size_t i = 0; i < msg.read_set.size(); ++i) {
-    if (s_.versions().Get(msg.read_set[i]) != msg.read_versions[i]) {
-      stale.push_back(msg.read_set[i]);
+  if (!skip_validation_) {
+    for (std::size_t i = 0; i < msg.read_set.size(); ++i) {
+      if (s_.versions().Get(msg.read_set[i]) != msg.read_versions[i]) {
+        stale.push_back(msg.read_set[i]);
+      }
     }
   }
   if (!stale.empty()) {

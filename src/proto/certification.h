@@ -44,14 +44,20 @@ class CertificationClient : public ClientProtocol {
 /// validation, deferred-update merge. No locks are ever taken.
 class CertificationServer : public ServerProtocol {
  public:
-  explicit CertificationServer(server::Server* server)
-      : ServerProtocol(server) {}
+  /// `skip_validation` (AlgorithmParams::test_skip_validation) disables
+  /// backward validation — the deliberately broken variant used to prove
+  /// the consistency oracle detects non-serializable histories.
+  explicit CertificationServer(server::Server* server,
+                               bool skip_validation = false)
+      : ServerProtocol(server), skip_validation_(skip_validation) {}
 
   sim::Process Handle(net::Message msg) override;
 
  private:
   sim::Task<void> HandleRead(net::Message msg);
   sim::Task<void> HandleCommit(net::Message msg);
+
+  const bool skip_validation_;
 };
 
 }  // namespace ccsim::proto

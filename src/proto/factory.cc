@@ -32,7 +32,8 @@ std::unique_ptr<ServerProtocol> MakeServerProtocol(
     case config::Algorithm::kTwoPhaseLocking:
       return std::make_unique<TwoPhaseServer>(server);
     case config::Algorithm::kCertification:
-      return std::make_unique<CertificationServer>(server);
+      return std::make_unique<CertificationServer>(
+          server, params.test_skip_validation);
     case config::Algorithm::kCallbackLocking:
       return std::make_unique<CallbackServer>(server,
                                               params.retain_write_locks);

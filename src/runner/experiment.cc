@@ -1,8 +1,11 @@
 #include "runner/experiment.h"
 
 #include <memory>
+#include <string>
 
+#include "check/oracle.h"
 #include "client/client.h"
+#include "lock/lock_manager.h"
 #include "db/database.h"
 #include "fault/fault_injector.h"
 #include "net/network.h"
@@ -68,6 +71,58 @@ Result<RunResult> RunExperiment(const config::ExperimentConfig& config) {
                    kClientDelayStreamBase + static_cast<std::uint64_t>(i)));
     c->set_protocol(proto::MakeClientProtocol(config.algorithm, c.get()));
     clients.push_back(std::move(c));
+  }
+
+  // Consistency oracle: one per run (never shared, so parallel sweeps stay
+  // race-free), reached by every component through metrics.oracle(). It
+  // never touches the calendar or an RNG stream, so enabling it cannot
+  // perturb results, and leaving it off keeps every hook a null branch.
+  std::unique_ptr<check::Oracle> oracle;
+  if (config.checker.enabled) {
+    check::Oracle::Options options;
+    options.context =
+        config::AlgorithmLabel(config.algorithm.algorithm,
+                               config.algorithm.caching) +
+        ", seed " + std::to_string(seed);
+    oracle = std::make_unique<check::Oracle>(&server.versions(), options);
+    server::Server* srv = &server;
+    auto* client_list = &clients;
+    const bool fault_free = !config.fault.recovery_enabled;
+    oracle->set_audit_hook([srv, client_list, fault_free] {
+      srv->directory().AuditStructure();
+      if (fault_free) {
+        // Uncommitted buffer frames must belong to live transactions.
+        // Crash/GC windows legitimately break liveness, so resilient runs
+        // audit structure only.
+        srv->pool().AuditConsistency([srv](std::uint64_t owner) {
+          const server::XactState* state = srv->FindXact(owner);
+          return state != nullptr && !state->done;
+        });
+        // Every retained copy a client trusts must be backed by a
+        // server-side retained lock (callback locking's core promise; the
+        // lease machinery relaxes it under faults). Pages locked by the
+        // client's current transaction are in a legitimate transfer
+        // window and are skipped.
+        for (const auto& c : *client_list) {
+          const int id = c->id();
+          c->cache().ForEach([&](db::PageId page,
+                                 const client::CachedPage& entry) {
+            if (!entry.retained || entry.lock != client::PageLock::kNone) {
+              return;
+            }
+            CCSIM_CHECK_MSG(
+                srv->locks().Holds(lock::RetainedOwner(id), page,
+                                   lock::LockMode::kShared),
+                "client %d trusts a retained copy of page %d with no "
+                "server-side retained lock",
+                id, page);
+          });
+        }
+      } else {
+        srv->pool().AuditConsistency(nullptr);
+      }
+    });
+    metrics.set_oracle(oracle.get());
   }
 
   // Fault injection: attach an injector only when the config asks for
@@ -211,6 +266,20 @@ Result<RunResult> RunExperiment(const config::ExperimentConfig& config) {
   result.final_locks_held = server.locks().held_count();
   result.final_active_xacts = server.active_transactions();
   result.final_ready_queue = server.ready_queue_length();
+  if (oracle != nullptr) {
+    oracle->Finalize(metrics.unknown_outcomes());
+    result.oracle_enabled = true;
+    result.oracle_commits = oracle->commits_observed();
+    result.oracle_edges = oracle->edges();
+    result.oracle_scc_checks = oracle->scc_checks();
+    result.oracle_max_frontier = oracle->max_frontier();
+    result.oracle_audits = oracle->audits();
+    result.oracle_client_audits = oracle->client_audits();
+    result.oracle_trusted_reads = oracle->trusted_reads();
+    result.oracle_stale_commit_reads = oracle->stale_commit_reads();
+    result.oracle_unknown_committed = oracle->unknown_resolved_committed();
+    result.oracle_unknown_aborted = oracle->unknown_resolved_aborted();
+  }
 
   sim.Shutdown();
   return result;

@@ -75,6 +75,32 @@ struct RunResult {
   /// committed server-side; the spec was re-run to be safe).
   std::uint64_t unknown_outcomes = 0;
 
+  // Consistency-oracle counters (checker.enabled runs; all zero/false
+  // otherwise). Commits here span the whole run including warmup — the
+  // oracle never resets, a serializable prefix is a property of the full
+  // history.
+  bool oracle_enabled = false;
+  std::uint64_t oracle_commits = 0;
+  /// Serialization-graph edges inserted (WR + WW + RW, deduplicated).
+  std::uint64_t oracle_edges = 0;
+  /// Edge insertions that needed a Pearce–Kelly cycle-check search.
+  std::uint64_t oracle_scc_checks = 0;
+  /// Largest affected region any single search visited.
+  std::uint64_t oracle_max_frontier = 0;
+  /// Commit-time structural audits (directory, buffer pool, client caches).
+  std::uint64_t oracle_audits = 0;
+  /// Attempt-boundary client-cache audits.
+  std::uint64_t oracle_client_audits = 0;
+  /// Cache reads served without server contact, each lease/lock-checked.
+  std::uint64_t oracle_trusted_reads = 0;
+  /// Commits carrying a read of an already-overwritten version (only a
+  /// broken protocol produces these; the graph decides if they cycle).
+  std::uint64_t oracle_stale_commit_reads = 0;
+  /// Unknown-outcome reconciliation: every unknown commit resolved to
+  /// exactly one side; the two counters sum to unknown_outcomes.
+  std::uint64_t oracle_unknown_committed = 0;
+  std::uint64_t oracle_unknown_aborted = 0;
+
   // End-of-run diagnostics (stall debugging / liveness checks).
   /// True if the event calendar drained before the measurement horizon and
   /// before the commit target: the whole system stopped making progress.

@@ -4,6 +4,8 @@
 #include <cinttypes>
 #include <cstdlib>
 
+#include "runner/experiment.h"
+
 namespace ccsim::runner {
 
 void Table::Print(std::FILE* out) const {
@@ -64,7 +66,28 @@ BenchScale ReadBenchScale() {
       scale.seed = static_cast<std::uint64_t>(value);
     }
   }
+  if (const char* env = std::getenv("CCSIM_CHECK")) {
+    scale.check = std::atoi(env) != 0;
+  }
   return scale;
+}
+
+std::string OracleSummary(const RunResult& result) {
+  if (!result.oracle_enabled) {
+    return "";
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%" PRIu64 " commits, %" PRIu64 " edges, %" PRIu64
+                " scc checks (max frontier %" PRIu64 "), %" PRIu64
+                " audits, %" PRIu64 " trusted reads, unknown %" PRIu64
+                "/%" PRIu64 " committed/aborted",
+                result.oracle_commits, result.oracle_edges,
+                result.oracle_scc_checks, result.oracle_max_frontier,
+                result.oracle_audits, result.oracle_trusted_reads,
+                result.oracle_unknown_committed,
+                result.oracle_unknown_aborted);
+  return buf;
 }
 
 }  // namespace ccsim::runner

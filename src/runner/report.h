@@ -34,11 +34,22 @@ class Table {
 ///  - CCSIM_SCALE (float, default 1): multiplies the commit target and the
 ///    simulated-time cap; smaller = faster, noisier.
 ///  - CCSIM_SEED (int, default 1): base RNG seed.
+///  - CCSIM_CHECK (0/1, default 0): run every configuration under the
+///    consistency oracle (checker.enabled). The oracle is an observer, so
+///    printed results must be byte-identical either way — which
+///    tools/bench_baseline.sh verifies.
 struct BenchScale {
   double scale = 1.0;
   std::uint64_t seed = 1;
+  bool check = false;
 };
 BenchScale ReadBenchScale();
+
+struct RunResult;
+
+/// One-line summary of a run's consistency-oracle counters ("3211 commits,
+/// 10042 edges, ..."); empty string when the run had no oracle attached.
+std::string OracleSummary(const RunResult& result);
 
 }  // namespace ccsim::runner
 

@@ -100,6 +100,36 @@ class Directory {
 
   std::size_t page_count() const { return by_page_.size(); }
 
+  /// Consistency-oracle audit: the per-client LRU view and the by-page
+  /// reverse index must mirror each other exactly, and no client may exceed
+  /// its capacity bound. Fatal on violation.
+  void AuditStructure() const {
+    std::size_t forward_entries = 0;
+    for (const auto& [client, pages] : per_client_) {
+      CCSIM_CHECK_MSG(static_cast<int>(pages.size()) <= per_client_capacity_,
+                      "directory for client %d exceeds its capacity bound",
+                      client);
+      const int client_id = client;
+      pages.ForEach([&](const LruTable<db::PageId, Empty>::Entry& e) {
+        ++forward_entries;
+        auto it = by_page_.find(e.key);
+        CCSIM_CHECK_MSG(it != by_page_.end() &&
+                        it->second.count(client_id) > 0,
+                        "directory entry (client %d, page %d) missing from "
+                        "the reverse index", client_id, e.key);
+      });
+    }
+    std::size_t reverse_entries = 0;
+    for (const auto& [page, clients] : by_page_) {
+      CCSIM_CHECK_MSG(!clients.empty(),
+                      "empty reverse-index entry for page %d", page);
+      reverse_entries += clients.size();
+    }
+    CCSIM_CHECK_MSG(forward_entries == reverse_entries,
+                    "directory indexes disagree: %zu forward vs %zu reverse",
+                    forward_entries, reverse_entries);
+  }
+
  private:
   struct Empty {};
 

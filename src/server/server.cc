@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "check/oracle.h"
 #include "proto/protocol.h"
 #include "util/macros.h"
 
@@ -356,17 +357,31 @@ void Server::BumpVersionsAndRecord(XactState& state, net::Message* reply) {
   // This is the commit point: from here on, garbage collection must leave
   // the transaction alone even though done is not yet set.
   state.committing = true;
-  // Serializability oracle: every version this transaction read must still
-  // be current at commit. This holds for every correct algorithm in the
-  // study (locks are held / validation just passed); a violation is a
-  // protocol implementation bug.
+  check::Oracle* oracle = metrics_->oracle();
+  // Every version this transaction read must still be current at commit.
+  // This holds for every correct algorithm in the study (locks are held /
+  // validation just passed); a violation is a protocol implementation bug.
+  // With the oracle attached the check is demoted to provenance: the
+  // serialization graph decides whether the history actually broke, so a
+  // deliberately broken protocol variant commits and is convicted by the
+  // cycle it forms rather than by this point assertion.
   for (const auto& [page, version] : state.read_versions) {
-    CCSIM_CHECK_MSG(versions_.Get(page) == version,
-                    "commit read-currency violated on page %d", page);
+    const std::uint64_t current = versions_.Get(page);
+    if (current == version) {
+      continue;
+    }
+    if (oracle != nullptr) {
+      oracle->NoteStaleCommitRead(state.client, state.uid, page, version,
+                                  current);
+    } else {
+      CCSIM_CHECK_MSG(false, "commit read-currency violated on page %d",
+                      page);
+    }
   }
   runner::Metrics::CommitRecord record;
   const bool record_history = metrics_->record_history();
-  if (record_history) {
+  const bool observe = record_history || oracle != nullptr;
+  if (observe) {
     record.client = state.client;
     record.xact = state.uid;
     record.reads.assign(state.read_versions.begin(),
@@ -376,13 +391,24 @@ void Server::BumpVersionsAndRecord(XactState& state, net::Message* reply) {
     const std::uint64_t new_version = versions_.Bump(page);
     reply->pages.push_back(page);
     reply->versions.push_back(new_version);
-    if (record_history) {
+    if (observe) {
       record.writes.emplace_back(page, new_version);
     }
   }
-  if (record_history) {
+  if (observe) {
     record.at = simulator_->Now();
-    metrics_->AddHistory(std::move(record));
+    if (oracle != nullptr) {
+      // The version bumps above and this LSN stamping are one atomic step
+      // (no awaits), so per-page LSNs are monotone iff commits install
+      // versions in chain order.
+      log_->AppendCommitRecord(record.writes);
+      oracle->OnCommit(record.client, record.xact, record.at, record.reads,
+                       record.writes);
+      oracle->AuditAtCommit();
+    }
+    if (record_history) {
+      metrics_->AddHistory(std::move(record));
+    }
   }
 }
 
@@ -402,6 +428,9 @@ sim::Task<void> Server::FinalizeCommit(XactState& state,
 sim::Task<void> Server::AbortPipeline(XactState& state) {
   CCSIM_CHECK(!state.done);
   state.aborted = true;
+  if (check::Oracle* oracle = metrics_->oracle()) {
+    oracle->OnAbortObserved(state.uid);
+  }
   locks_.CancelOwner(state.uid);
   const std::vector<db::PageId> flushed = pool_->AbortTransaction(state.uid);
   co_await log_->ProcessAbort(flushed);
@@ -526,6 +555,9 @@ void Server::Crash() {
     }
     if (!state->done && !state->committing) {
       state->aborted = true;
+      if (check::Oracle* oracle = metrics_->oracle()) {
+        oracle->OnAbortObserved(uid);
+      }
     }
     std::uint64_t& last = last_finished_[state->client];
     last = std::max(last, uid);
@@ -547,6 +579,10 @@ sim::Task<void> Server::Recover() {
   redo_pages_at_crash_ = 0;
   down_ = false;
   metrics_->RecordRecovery(simulator_->Now() - crash_began_);
+  if (check::Oracle* oracle = metrics_->oracle()) {
+    oracle->AuditPostRecovery(active_.size(), locks_.held_count(),
+                              pool_->UncommittedFrameCount());
+  }
 }
 
 }  // namespace ccsim::server

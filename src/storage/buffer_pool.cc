@@ -164,6 +164,45 @@ std::vector<db::PageId> BufferPool::AbortTransaction(std::uint64_t xact) {
   return flushed;
 }
 
+std::size_t BufferPool::UncommittedFrameCount() const {
+  std::size_t count = 0;
+  frames_.ForEach([&](const LruTable<db::PageId, Frame>::Entry& e) {
+    if (e.value.uncommitted_owner != kCommitted) {
+      ++count;
+    }
+  });
+  return count;
+}
+
+void BufferPool::AuditConsistency(
+    const std::function<bool(std::uint64_t)>& live) const {
+  frames_.ForEach([&](const LruTable<db::PageId, Frame>::Entry& e) {
+    const std::uint64_t owner = e.value.uncommitted_owner;
+    if (owner == kCommitted) {
+      return;
+    }
+    CCSIM_CHECK_MSG(e.value.dirty, "page %d has an uncommitted owner but is "
+                    "clean", e.key);
+    auto it = dirty_by_xact_.find(owner);
+    CCSIM_CHECK_MSG(it != dirty_by_xact_.end() && it->second.count(e.key) > 0,
+                    "page %d owned by an uncommitted transaction missing "
+                    "from dirty_by_xact_", e.key);
+    if (live) {
+      CCSIM_CHECK_MSG(live(owner), "page %d owned by a dead transaction",
+                      e.key);
+    }
+  });
+  for (const auto& [xact, pages] : dirty_by_xact_) {
+    for (const db::PageId page : pages) {
+      const Frame* frame = frames_.Find(page);
+      CCSIM_CHECK_MSG(frame != nullptr && frame->uncommitted_owner == xact &&
+                      frame->dirty,
+                      "dirty_by_xact_ entry for page %d has no matching "
+                      "frame", page);
+    }
+  }
+}
+
 int BufferPool::CrashReset() {
   int redo_pages = 0;
   frames_.ForEach([&](const LruTable<db::PageId, Frame>::Entry& e) {

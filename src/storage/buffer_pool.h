@@ -2,6 +2,7 @@
 #define CCSIM_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -82,6 +83,17 @@ class BufferPool {
   bool Resident(db::PageId page) const { return frames_.Contains(page); }
   std::size_t size() const { return frames_.size(); }
   int capacity() const { return params_.capacity_pages; }
+
+  /// Frames currently owned by an uncommitted transaction (checker audits;
+  /// must be zero right after crash recovery).
+  std::size_t UncommittedFrameCount() const;
+
+  /// Consistency-oracle audit of the pool's internal bookkeeping: every
+  /// uncommitted-owner frame is dirty and indexed in dirty_by_xact_, every
+  /// indexed page has a matching resident frame, and — when `live` is
+  /// provided (fault-free runs; crash windows legitimately break it) —
+  /// every uncommitted owner is a live transaction. Fatal on violation.
+  void AuditConsistency(const std::function<bool(std::uint64_t)>& live) const;
 
   std::size_t loading_count() const { return loading_.size(); }
   std::uint64_t hits() const { return hits_; }

@@ -42,6 +42,31 @@ sim::Task<void> LogManager::ProcessAbort(
   }
 }
 
+void LogManager::AppendCommitRecord(
+    const std::vector<std::pair<db::PageId, std::uint64_t>>& writes) {
+  if (writes.empty()) {
+    return;  // read-only commit: no log records
+  }
+  const std::uint64_t lsn = next_lsn_++;
+  for (const auto& [page, version] : writes) {
+    auto [it, inserted] = page_lsn_.emplace(page, std::make_pair(lsn, version));
+    if (inserted) {
+      continue;
+    }
+    auto& [last_lsn, last_version] = it->second;
+    CCSIM_CHECK_MSG(lsn > last_lsn,
+                    "log LSN not monotone on page %d: %llu after %llu", page,
+                    static_cast<unsigned long long>(lsn),
+                    static_cast<unsigned long long>(last_lsn));
+    CCSIM_CHECK_MSG(version > last_version,
+                    "page %d logged version %llu after %llu: commit records "
+                    "out of version-chain order",
+                    page, static_cast<unsigned long long>(version),
+                    static_cast<unsigned long long>(last_version));
+    it->second = {lsn, version};
+  }
+}
+
 sim::Task<void> LogManager::ReplayRecovery(int redo_pages) {
   if (!params_.enabled) {
     co_return;

@@ -2,6 +2,8 @@
 #define CCSIM_STORAGE_LOG_MANAGER_H_
 
 #include <cstdint>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "db/database.h"
@@ -53,6 +55,16 @@ class LogManager {
   /// forced — so no committed work is lost.
   sim::Task<void> ReplayRecovery(int redo_pages);
 
+  /// Consistency-oracle audit: stamps one LSN per updated page at the
+  /// commit point and asserts per-page LSN *and* version monotonicity —
+  /// the write-ahead contract that redo recovery depends on. Called (only
+  /// on checker-enabled runs) synchronously with the version bumps, so a
+  /// protocol that lets two commits install versions out of chain order
+  /// trips the check at the exact commit that reordered them. Pure
+  /// bookkeeping: no simulated I/O or CPU is charged.
+  void AppendCommitRecord(
+      const std::vector<std::pair<db::PageId, std::uint64_t>>& writes);
+
   std::uint64_t commits_logged() const { return commits_logged_; }
   std::uint64_t undo_page_ios() const { return undo_page_ios_; }
   std::uint64_t redo_page_ios() const { return redo_page_ios_; }
@@ -68,6 +80,12 @@ class LogManager {
   std::vector<Disk*> data_disks_;
   sim::Resource* server_cpu_;
   std::size_t next_log_disk_ = 0;
+  /// Audit state (AppendCommitRecord): next LSN to assign and the last
+  /// (lsn, version) stamped per page. Survives simulated server crashes by
+  /// design — the log is durable, so monotonicity must hold across them.
+  std::uint64_t next_lsn_ = 1;
+  std::unordered_map<db::PageId, std::pair<std::uint64_t, std::uint64_t>>
+      page_lsn_;
   std::uint64_t commits_logged_ = 0;
   std::uint64_t undo_page_ios_ = 0;
   std::uint64_t redo_page_ios_ = 0;

@@ -1,18 +1,31 @@
 #!/usr/bin/env bash
 # Regenerates BENCH_kernel.json, the tracked kernel perf baseline:
 #   1. bench/micro_kernel (google-benchmark, JSON) — events/sec for the
-#      resume, inline-closure, resource, and broadcast hot paths;
+#      resume, inline-closure, resource, and broadcast hot paths, plus the
+#      checker-off/checker-on experiment guard pair;
 #   2. a scaled fig12 sweep timed serially (CCSIM_JOBS=1) vs in parallel
-#      (CCSIM_JOBS=nproc), with a byte-identity check on the outputs.
+#      (CCSIM_JOBS=nproc), with a byte-identity check on the outputs — and
+#      a third run under the consistency oracle (CCSIM_CHECK=1), which must
+#      also be byte-identical (the oracle is an observer);
+#   3. a regression guard: if a previous BENCH_kernel.json exists and was
+#      produced by the same build type, every micro benchmark's events/sec
+#      — in particular BM_ExperimentCheckerOff, the "a disabled checker
+#      costs nothing" guard — must be within CCSIM_BENCH_TOLERANCE percent
+#      (default 5) of the recorded value, or the script fails.
 #
 # Usage: tools/bench_baseline.sh [build-dir]   (default: build)
-# Writes BENCH_kernel.json in the repo root. Compare against the checked-in
-# copy before/after kernel changes; identity_ok must stay true.
+# Environment:
+#   CCSIM_BASELINE_SCALE   fig12 CCSIM_SCALE (default 0.1)
+#   CCSIM_BENCH_TOLERANCE  allowed events/sec regression in percent (5)
+#   CCSIM_BENCH_NO_GUARD   set to 1 to skip the regression comparison
+# Writes BENCH_kernel.json in the repo root. identity_ok and
+# checker_identity_ok must stay true.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 scale="${CCSIM_BASELINE_SCALE:-0.1}"
+tolerance="${CCSIM_BENCH_TOLERANCE:-5}"
 jobs="$(nproc)"
 
 micro="$build_dir/bench/micro_kernel"
@@ -42,6 +55,12 @@ par_start=$(date +%s.%N)
 CCSIM_JOBS="$jobs" CCSIM_SCALE="$scale" "$fig12" >"$tmp/fig12_parallel.txt"
 par_end=$(date +%s.%N)
 
+echo "== fig12 under the oracle (CCSIM_CHECK=1) ==" >&2
+check_start=$(date +%s.%N)
+CCSIM_CHECK=1 CCSIM_JOBS="$jobs" CCSIM_SCALE="$scale" \
+  "$fig12" >"$tmp/fig12_check.txt"
+check_end=$(date +%s.%N)
+
 if cmp -s "$tmp/fig12_serial.txt" "$tmp/fig12_parallel.txt"; then
   identity=true
 else
@@ -50,12 +69,48 @@ else
   diff "$tmp/fig12_serial.txt" "$tmp/fig12_parallel.txt" | head -20 >&2
 fi
 
-python3 - "$tmp/micro.json" "$repo_root/BENCH_kernel.json" <<EOF
+if cmp -s "$tmp/fig12_parallel.txt" "$tmp/fig12_check.txt"; then
+  check_identity=true
+else
+  check_identity=false
+  echo "WARNING: fig12 output changes under CCSIM_CHECK=1 —" \
+       "the oracle is supposed to be a pure observer!" >&2
+  diff "$tmp/fig12_parallel.txt" "$tmp/fig12_check.txt" | head -20 >&2
+fi
+
+old_baseline="$repo_root/BENCH_kernel.json"
+if [[ -f "$old_baseline" && "${CCSIM_BENCH_NO_GUARD:-0}" != "1" ]]; then
+  cp "$old_baseline" "$tmp/old.json"
+else
+  : >"$tmp/old.json"
+fi
+
+python3 - "$tmp/micro.json" "$repo_root/BENCH_kernel.json" "$tmp/old.json" <<EOF
 import json, sys
 micro = json.load(open(sys.argv[1]))
 serial_s = $serial_end - $serial_start
 parallel_s = $par_end - $par_start
+check_s = $check_end - $check_start
 identity_ok = "$identity" == "true"
+checker_identity_ok = "$check_identity" == "true"
+tolerance = float("$tolerance")
+
+bench = {
+    b["name"]: b.get("items_per_second")
+    for b in micro["benchmarks"]
+    if b.get("items_per_second")
+}
+
+# Pay-for-use accounting for the consistency oracle.
+off = bench.get("BM_ExperimentCheckerOff")
+on = bench.get("BM_ExperimentCheckerOn")
+checker_guard = {
+    "off_commits_per_second": off,
+    "on_commits_per_second": on,
+    "on_overhead_pct": round((1 - on / off) * 100, 2) if off and on else None,
+    "checker_identity_ok": checker_identity_ok,
+}
+
 out = {
     "host": {
         "cores": $jobs,
@@ -71,16 +126,54 @@ out = {
         }
         for b in micro["benchmarks"]
     ],
+    "checker_guard": checker_guard,
     "fig12_sweep": {
         "scale": $scale,
         "jobs": $jobs,
         "serial_seconds": round(serial_s, 3),
         "parallel_seconds": round(parallel_s, 3),
+        "checked_seconds": round(check_s, 3),
         "speedup": round(serial_s / parallel_s, 2) if parallel_s else None,
         "identity_ok": identity_ok,
     },
 }
+
+# Regression guard against the previous baseline (same build type only —
+# comparing Release numbers against a Debug run is meaningless).
+failures = []
+try:
+    old = json.load(open(sys.argv[3]))
+except (ValueError, OSError):
+    old = None
+if old and old.get("host", {}).get("build_type") == "$build_type":
+    old_bench = {
+        b["name"]: b.get("events_per_second")
+        for b in old.get("micro_kernel", [])
+        if b.get("events_per_second")
+    }
+    for name, old_rate in sorted(old_bench.items()):
+        new_rate = bench.get(name)
+        if new_rate is None:
+            continue
+        delta_pct = (new_rate / old_rate - 1) * 100
+        marker = ""
+        if delta_pct < -tolerance:
+            marker = "  <-- REGRESSION"
+            failures.append(name)
+        print(f"  {name}: {old_rate:.3e} -> {new_rate:.3e} "
+              f"({delta_pct:+.1f}%){marker}", file=sys.stderr)
+elif old:
+    print("guard skipped: baseline build type "
+          f"{old.get('host', {}).get('build_type')} != $build_type",
+          file=sys.stderr)
+
 json.dump(out, open(sys.argv[2], "w"), indent=2)
 open(sys.argv[2], "a").write("\n")
 print("wrote", sys.argv[2], file=sys.stderr)
+
+if not checker_identity_ok:
+    sys.exit("FAIL: bench output not byte-identical under CCSIM_CHECK=1")
+if failures:
+    sys.exit(f"FAIL: events/sec regression beyond {tolerance}% in: "
+             + ", ".join(failures))
 EOF

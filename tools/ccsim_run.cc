@@ -17,6 +17,7 @@
 
 #include "config/params.h"
 #include "runner/experiment.h"
+#include "runner/report.h"
 #include "runner/sweep.h"
 
 namespace {
@@ -69,6 +70,9 @@ void PrintUsage() {
       "  --crash=NODE:AT:DOWN    crash NODE (-1 = server) at AT s for DOWN s\n"
       "                          (repeatable)\n"
       "  --recovery              enable the recovery layer without faults\n"
+      "  --check                 enable the consistency oracle (serializa-\n"
+      "                          bility + coherence audits; aborts with a\n"
+      "                          cycle dump on a violation)\n"
       "  --rpc-timeout-ms=D --lease-ms=D --idle-timeout-ms=D\n"
       "  --sweep-clients=LIST    run once per client count (e.g. 2,10,30,50)\n"
       "                          and print one CSV row per run\n"
@@ -249,6 +253,8 @@ int main(int argc, char** argv) {
       cfg.fault.recovery_enabled = true;
     } else if (std::strcmp(arg, "--recovery") == 0) {
       cfg.fault.recovery_enabled = true;
+    } else if (std::strcmp(arg, "--check") == 0) {
+      cfg.checker.enabled = true;
     } else if (ParseValue(arg, "--rpc-timeout-ms", &value)) {
       cfg.fault.rpc_timeout_ms = std::atof(value.c_str());
     } else if (ParseValue(arg, "--lease-ms", &value)) {
@@ -389,6 +395,10 @@ int main(int argc, char** argv) {
                 r.recovery_seconds,
                 static_cast<unsigned long long>(r.transactions_lost),
                 static_cast<unsigned long long>(r.unknown_outcomes));
+  }
+  if (r.oracle_enabled) {
+    std::printf("oracle             : %s\n",
+                ccsim::runner::OracleSummary(r).c_str());
   }
   return r.stalled ? 3 : 0;
 }

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Single-command CI entry point. Builds the tree under ASan/UBSan and runs,
+# in order:
+#   1. the full tier-1 suite (every registered test),
+#   2. the chaos suite      (ctest -L chaos  — fault-injection survival),
+#   3. the oracle suite     (ctest -L oracle — serializability oracle +
+#                            invariant auditor, incl. the broken-protocol
+#                            negative control),
+#   4. the determinism tests (byte-identical replay, serial-vs-parallel
+#      sweeps) as an explicit final gate.
+#
+# Usage: tools/ci.sh [build-dir]   (default: build-ci)
+# Environment:
+#   CCSIM_CI_SANITIZE   sanitizer for the build: asan (default), tsan, OFF
+#   CCSIM_CI_JOBS       parallelism (default: nproc)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-ci}"
+sanitize="${CCSIM_CI_SANITIZE:-asan}"
+jobs="${CCSIM_CI_JOBS:-$(nproc)}"
+
+step() { echo; echo "=== $* ==="; }
+
+step "configure ($build_dir, CCSIM_SANITIZE=$sanitize)"
+cmake -B "$build_dir" -S "$repo_root" -DCCSIM_SANITIZE="$sanitize"
+
+step "build"
+cmake --build "$build_dir" -j"$jobs"
+
+cd "$build_dir"
+
+step "tier-1: full test suite"
+ctest --output-on-failure -j"$jobs"
+
+step "chaos suite (ctest -L chaos)"
+ctest -L chaos --output-on-failure -j"$jobs"
+
+step "oracle suite (ctest -L oracle)"
+ctest -L oracle --output-on-failure -j"$jobs"
+
+step "determinism gate"
+ctest -R "Determinism" --output-on-failure -j"$jobs"
+
+step "ci passed"
