@@ -38,14 +38,14 @@ Client::Client(sim::Simulator* simulator, int id,
                const config::ExperimentConfig& config,
                const db::DatabaseLayout* layout, net::Network* network,
                runner::Metrics* metrics, sim::Pcg32 object_rng,
-               sim::Pcg32 delay_rng)
+               sim::Pcg32 delay_rng, sim::Pcg32 jitter_rng)
     : simulator_(simulator), id_(id), config_(config), network_(network),
       metrics_(metrics),
       cpu_(simulator, "client" + std::to_string(id) + ".cpu",
            config.system.num_client_cpus),
       cache_(config.system.client_cache_pages),
       generator_(config.EffectiveMix(), layout, object_rng, delay_rng),
-      inbox_(simulator) {
+      inbox_(simulator), jitter_rng_(jitter_rng) {
   CCSIM_CHECK(id >= 0 && id < (1 << kUidClientBits) - 1);
   resilient_ = config.fault.recovery_enabled;
   if (resilient_) {
@@ -53,6 +53,8 @@ Client::Client(sim::Simulator* simulator, int id,
     rpc_timeout_cap_ticks_ =
         sim::MillisToTicks(config.fault.rpc_timeout_cap_ms);
     lease_ticks_ = sim::MillisToTicks(config.fault.lease_ms);
+    retry_budget_ = config.fault.retry_budget;
+    retry_jitter_ = config.fault.retry_jitter;
     recovered_ = std::make_unique<sim::Event>(simulator);
   }
   client_proc_page_ticks_ = sim::CpuDemand(
@@ -131,7 +133,7 @@ sim::Task<net::Message> Client::Rpc(net::Message msg) {
     // A reply to an earlier transmission (or a crash) may have landed while
     // the send held the CPU; ReplyWaiter's await_ready covers that.
     ++slot.wait_epoch;
-    co_await ReplyWaiter{this, &slot, request_id, timeout};
+    co_await ReplyWaiter{this, &slot, request_id, JitteredTimeout(timeout)};
     if (slot.reply.has_value() || slot.failed || crashed_) {
       break;
     }
@@ -139,6 +141,17 @@ sim::Task<net::Message> Client::Rpc(net::Message msg) {
     if (retries_left == 0) {
       gave_up = true;
       break;
+    }
+    if (retry_budget_ > 0) {
+      // The attempt-wide budget caps total retransmissions across all of
+      // the attempt's RPCs; exhausting it aborts the attempt like an
+      // ordinary give-up (the driver restarts the spec after a backoff).
+      if (retry_tokens_ == 0) {
+        metrics_->RecordRetryBudgetExhausted();
+        gave_up = true;
+        break;
+      }
+      --retry_tokens_;
     }
     --retries_left;
     timeout = std::min(timeout * 2, rpc_timeout_cap_ticks_);
@@ -177,6 +190,17 @@ sim::Task<net::Message> Client::Rpc(net::Message msg) {
   synth.request_id = request_id;
   synth.aborted = true;
   co_return synth;
+}
+
+sim::Ticks Client::JitteredTimeout(sim::Ticks timeout) {
+  if (retry_jitter_ <= 0.0 || timeout <= 0) {
+    return timeout;
+  }
+  const double scale =
+      1.0 - retry_jitter_ / 2.0 + retry_jitter_ * jitter_rng_.NextDouble();
+  const auto jittered =
+      static_cast<sim::Ticks>(static_cast<double>(timeout) * scale);
+  return std::max<sim::Ticks>(jittered, 1);
 }
 
 void Client::ArmRpcTimeout(std::uint64_t request_id, std::uint64_t epoch,
@@ -332,6 +356,7 @@ sim::Process Client::Driver() {
       abort_flag_ = false;
       pending_stale_.clear();
       updated_this_xact_.clear();
+      retry_tokens_ = retry_budget_;
       protocol_->OnAttemptStart();
       const bool committed = co_await protocol_->RunAttempt(spec);
       co_await protocol_->OnAttemptEnd(committed);

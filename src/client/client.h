@@ -45,7 +45,7 @@ class Client {
          const config::ExperimentConfig& config,
          const db::DatabaseLayout* layout, net::Network* network,
          runner::Metrics* metrics, sim::Pcg32 object_rng,
-         sim::Pcg32 delay_rng);
+         sim::Pcg32 delay_rng, sim::Pcg32 jitter_rng);
   ~Client();
 
   Client(const Client&) = delete;
@@ -183,6 +183,10 @@ class Client {
 
   sim::Process Driver();
   sim::Process Dispatcher();
+  /// Randomizes a retransmission timeout by +/- retry_jitter/2 so a fleet
+  /// of clients cut off by the same fault does not retry in lock-step.
+  /// Draws a variate only when jitter is configured (determinism).
+  sim::Ticks JitteredTimeout(sim::Ticks timeout);
   void ArmRpcTimeout(std::uint64_t request_id, std::uint64_t epoch,
                      sim::Ticks timeout);
   /// Wakes `slot` (at most once per epoch) by scheduling its waiter now.
@@ -230,6 +234,13 @@ class Client {
   bool resilient_ = false;
   sim::Ticks rpc_timeout_ticks_ = 0;
   sim::Ticks rpc_timeout_cap_ticks_ = 0;
+  /// Per-attempt retransmission budget shared by all of an attempt's RPCs
+  /// (0 = off): once spent, the next timeout aborts the attempt instead of
+  /// retransmitting — a partitioned client stops hammering the link.
+  int retry_budget_ = 0;
+  int retry_tokens_ = 0;
+  double retry_jitter_ = 0.0;
+  sim::Pcg32 jitter_rng_;
   sim::Ticks lease_ticks_ = 0;
   bool crashed_ = false;
   /// Crash happened; the cache wipe is still owed at the attempt boundary.

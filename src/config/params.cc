@@ -50,6 +50,11 @@ std::string AlgorithmLabel(Algorithm algorithm, CachingMode mode) {
 
 namespace {
 
+/// True when two half-open windows [a, a+da) and [b, b+db) intersect.
+bool WindowsOverlap(double a, double da, double b, double db) {
+  return a < b + db && b < a + da;
+}
+
 Status ValidateTransactionType(const TransactionParams& transaction) {
   if (transaction.min_xact_size < 1 ||
       transaction.max_xact_size < transaction.min_xact_size) {
@@ -163,6 +168,16 @@ Status ExperimentConfig::Validate() const {
   if (fault.delay_spike_ms < 0.0) {
     return Status::InvalidArgument("delay_spike_ms must be >= 0");
   }
+  if (fault.torn_write_probability < 0.0 ||
+      fault.torn_write_probability >= 1.0 ||
+      fault.bit_flip_probability < 0.0 || fault.bit_flip_probability >= 1.0) {
+    return Status::InvalidArgument(
+        "storage fault probabilities must be in [0,1)");
+  }
+  // Fault windows must close before the nominal end of the run; a window
+  // that dangles past the horizon (or starts after it) is almost always a
+  // units mistake and would silently test nothing.
+  const double run_end_s = control.warmup_seconds + control.max_measure_seconds;
   for (const FaultParams::CrashEvent& crash : fault.crashes) {
     if (crash.node < -1 || crash.node >= system.num_clients) {
       return Status::InvalidArgument(
@@ -171,14 +186,81 @@ Status ExperimentConfig::Validate() const {
     if (crash.at_s < 0.0 || crash.downtime_s <= 0.0) {
       return Status::InvalidArgument("bad crash schedule entry");
     }
+    if (crash.at_s + crash.downtime_s > run_end_s) {
+      return Status::InvalidArgument(
+          "crash window extends past the end of the run "
+          "(warmup + max_measure_seconds)");
+    }
+  }
+  for (std::size_t i = 0; i < fault.crashes.size(); ++i) {
+    for (std::size_t j = i + 1; j < fault.crashes.size(); ++j) {
+      const FaultParams::CrashEvent& a = fault.crashes[i];
+      const FaultParams::CrashEvent& b = fault.crashes[j];
+      if (a.node == b.node &&
+          WindowsOverlap(a.at_s, a.downtime_s, b.at_s, b.downtime_s)) {
+        return Status::InvalidArgument(
+            "overlapping crash windows on the same node");
+      }
+    }
+  }
+  for (const FaultParams::PartitionEvent& part : fault.partitions) {
+    if (part.node < 0 || part.node >= system.num_clients) {
+      return Status::InvalidArgument(
+          "partition node must be a client id (partitions cut the "
+          "client/server link)");
+    }
+    if (part.at_s < 0.0 || part.duration_s <= 0.0) {
+      return Status::InvalidArgument("bad partition schedule entry");
+    }
+    if (part.direction < 0 || part.direction > 2) {
+      return Status::InvalidArgument(
+          "partition direction must be 0 (both), 1 (to-server), or "
+          "2 (from-server)");
+    }
+    if (part.at_s + part.duration_s > run_end_s) {
+      return Status::InvalidArgument(
+          "partition window extends past the end of the run "
+          "(warmup + max_measure_seconds)");
+    }
+  }
+  for (std::size_t i = 0; i < fault.partitions.size(); ++i) {
+    for (std::size_t j = i + 1; j < fault.partitions.size(); ++j) {
+      const FaultParams::PartitionEvent& a = fault.partitions[i];
+      const FaultParams::PartitionEvent& b = fault.partitions[j];
+      if (a.node == b.node &&
+          WindowsOverlap(a.at_s, a.duration_s, b.at_s, b.duration_s)) {
+        return Status::InvalidArgument(
+            "overlapping partition windows on the same node");
+      }
+    }
+  }
+  if (fault.server_queue_limit < 0) {
+    return Status::InvalidArgument("server_queue_limit must be >= 0");
+  }
+  if (fault.retry_budget < 0) {
+    return Status::InvalidArgument("retry_budget must be >= 0");
+  }
+  if (fault.retry_jitter < 0.0 || fault.retry_jitter > 1.0) {
+    return Status::InvalidArgument("retry_jitter must be in [0,1]");
   }
   if ((fault.drop_probability > 0.0 || fault.duplicate_probability > 0.0 ||
-       !fault.crashes.empty()) &&
+       !fault.crashes.empty() || !fault.partitions.empty()) &&
       !fault.recovery_enabled) {
     // Without retries and duplicate suppression a lost or repeated message
-    // wedges a client forever; only pure delay spikes are survivable.
+    // wedges a client forever; only pure delay spikes are survivable. A
+    // partitioned client likewise needs timeouts to escape its cut link.
     return Status::InvalidArgument(
-        "message loss/duplication/crashes require fault.recovery_enabled");
+        "message loss/duplication/crashes/partitions require "
+        "fault.recovery_enabled");
+  }
+  if ((fault.server_queue_limit > 0 || fault.retry_budget > 0 ||
+       fault.retry_jitter > 0.0) &&
+      !fault.recovery_enabled) {
+    // Shedding replies with aborts and damping retransmissions both only
+    // make sense when the retry machinery exists to absorb them.
+    return Status::InvalidArgument(
+        "queue limits / retry budgets / jitter require "
+        "fault.recovery_enabled");
   }
   if (fault.recovery_enabled) {
     if (fault.rpc_timeout_ms <= 0.0 ||

@@ -195,6 +195,25 @@ struct FaultParams {
     double downtime_s = 1.0;
   };
   std::vector<CrashEvent> crashes;
+  /// Scheduled partitions: the link between client `node` and the server is
+  /// cut for `duration_s` seconds starting at `at_s`, then heals. Both ends
+  /// stay up; the cut-off client degrades gracefully (leases expire, RPCs
+  /// time out, in-flight commits resolve via unknown-outcome
+  /// reconciliation). `direction` selects which half of the link dies:
+  /// 0 = both, 1 = client->server only, 2 = server->client only.
+  struct PartitionEvent {
+    int node = 0;
+    double at_s = 0.0;
+    double duration_s = 1.0;
+    int direction = 0;
+  };
+  std::vector<PartitionEvent> partitions;
+  /// Storage faults, drawn per commit log force: probability that the force
+  /// first writes a torn record / that the record fails its checksum on the
+  /// write-verify read-back. Either way the record is re-appended before the
+  /// commit is acknowledged (extra log I/O, never lost committed work).
+  double torn_write_probability = 0.0;
+  double bit_flip_probability = 0.0;
 
   // --- survival machinery (timeouts, retries, leases, server-side GC) ---
   /// Master switch for the recovery layer: RPC timeouts with retransmission,
@@ -216,9 +235,27 @@ struct FaultParams {
   /// long are aborted (suspected client crash). 0 disables.
   double xact_idle_timeout_ms = 60000.0;
 
+  // --- overload robustness (backpressure and retry damping) ---
+  /// Bound on the server's ready queue (transactions parked behind the MPL
+  /// admission gate). When full, new arrivals are shed: synchronous
+  /// requests get an immediate aborted reply (backpressure the client sees
+  /// and backs off from); asynchronous ones are dropped. 0 = unbounded.
+  int server_queue_limit = 0;
+  /// Per-attempt budget of RPC retransmissions across all of an attempt's
+  /// RPCs. When exhausted the client stops retransmitting and aborts the
+  /// attempt (restart delay paces the retry), so a fault burst cannot fan
+  /// out into a retry storm. 0 = no budget (per-RPC max_rpc_retries only).
+  int retry_budget = 0;
+  /// Fraction of each RPC timeout randomized (uniform in
+  /// [1 - j/2, 1 + j/2]) so backed-off clients do not retransmit in
+  /// lockstep. 0 = deterministic timeouts.
+  double retry_jitter = 0.0;
+
   bool AnyFaults() const {
     return drop_probability > 0.0 || duplicate_probability > 0.0 ||
-           delay_spike_probability > 0.0 || !crashes.empty();
+           delay_spike_probability > 0.0 || !crashes.empty() ||
+           !partitions.empty() || torn_write_probability > 0.0 ||
+           bit_flip_probability > 0.0;
   }
 };
 

@@ -45,6 +45,57 @@ void FaultInjector::SetDown(int node, bool down) {
   }
 }
 
+void FaultInjector::SetPartitioned(int node,
+                                   PartitionWindow::Direction direction,
+                                   bool cut) {
+  const bool to_server = direction != PartitionWindow::Direction::kFromServer;
+  const bool from_server = direction != PartitionWindow::Direction::kToServer;
+  if (to_server) {
+    if (cut) {
+      cut_to_server_.insert(node);
+    } else {
+      cut_to_server_.erase(node);
+    }
+  }
+  if (from_server) {
+    if (cut) {
+      cut_from_server_.insert(node);
+    } else {
+      cut_from_server_.erase(node);
+    }
+  }
+}
+
+bool FaultInjector::LinkCut(int src, int dst) const {
+  // The topology is a star: every link pairs a client (id >= 0) with the
+  // server (negative node id), so a cut is keyed by the client end alone.
+  if (src >= 0 && dst < 0) {
+    return cut_to_server_.count(src) > 0;
+  }
+  if (src < 0 && dst >= 0) {
+    return cut_from_server_.count(dst) > 0;
+  }
+  return false;
+}
+
+bool FaultInjector::DrawTornWrite() {
+  if (plan_.storage.torn_write <= 0.0 ||
+      !rng_.Bernoulli(plan_.storage.torn_write)) {
+    return false;
+  }
+  ++torn_writes_injected_;
+  return true;
+}
+
+bool FaultInjector::DrawBitFlip() {
+  if (plan_.storage.bit_flip <= 0.0 ||
+      !rng_.Bernoulli(plan_.storage.bit_flip)) {
+    return false;
+  }
+  ++bit_flips_injected_;
+  return true;
+}
+
 FaultPlan MakePlan(const config::FaultParams& params) {
   FaultPlan plan;
   plan.link.drop = params.drop_probability;
@@ -56,6 +107,26 @@ FaultPlan MakePlan(const config::FaultParams& params) {
                                        sim::SecondsToTicks(crash.at_s),
                                        sim::SecondsToTicks(crash.downtime_s)});
   }
+  for (const config::FaultParams::PartitionEvent& part : params.partitions) {
+    PartitionWindow window;
+    window.node = part.node;
+    window.at = sim::SecondsToTicks(part.at_s);
+    window.duration = sim::SecondsToTicks(part.duration_s);
+    switch (part.direction) {
+      case 1:
+        window.direction = PartitionWindow::Direction::kToServer;
+        break;
+      case 2:
+        window.direction = PartitionWindow::Direction::kFromServer;
+        break;
+      default:
+        window.direction = PartitionWindow::Direction::kBoth;
+        break;
+    }
+    plan.partitions.push_back(window);
+  }
+  plan.storage.torn_write = params.torn_write_probability;
+  plan.storage.bit_flip = params.bit_flip_probability;
   return plan;
 }
 

@@ -42,19 +42,43 @@ class FaultInjector {
   bool IsDown(int node) const { return down_.count(node) > 0; }
   bool AnyDown() const { return !down_.empty(); }
 
+  /// Partition-window bookkeeping: cuts (or heals) the client/server link
+  /// of `node` in the given direction(s). The experiment runner drives this
+  /// from the plan's partition schedule.
+  void SetPartitioned(int node, PartitionWindow::Direction direction,
+                      bool cut);
+  /// True when a message src -> dst would cross a cut link half.
+  bool LinkCut(int src, int dst) const;
+  bool AnyPartitioned() const {
+    return !cut_to_server_.empty() || !cut_from_server_.empty();
+  }
+
   /// Counts a message discarded because an endpoint was down.
   void RecordDownDrop() { ++down_drops_; }
+  /// Counts a message discarded at a severed link.
+  void RecordPartitionDrop() { ++partition_drops_; }
+
+  /// Storage-fault draws, one per commit log force. Consume a variate only
+  /// when the corresponding probability is non-zero.
+  bool DrawTornWrite();
+  bool DrawBitFlip();
 
   std::uint64_t messages_dropped() const { return messages_dropped_; }
   std::uint64_t messages_duplicated() const { return messages_duplicated_; }
   std::uint64_t delay_spikes() const { return delay_spikes_; }
   std::uint64_t down_drops() const { return down_drops_; }
+  std::uint64_t partition_drops() const { return partition_drops_; }
+  std::uint64_t torn_writes_injected() const { return torn_writes_injected_; }
+  std::uint64_t bit_flips_injected() const { return bit_flips_injected_; }
 
   void ResetStats() {
     messages_dropped_ = 0;
     messages_duplicated_ = 0;
     delay_spikes_ = 0;
     down_drops_ = 0;
+    partition_drops_ = 0;
+    torn_writes_injected_ = 0;
+    bit_flips_injected_ = 0;
   }
 
  private:
@@ -63,10 +87,16 @@ class FaultInjector {
   FaultPlan plan_;
   sim::Pcg32 rng_;
   std::set<int> down_;
+  /// Clients whose client->server / server->client link half is cut.
+  std::set<int> cut_to_server_;
+  std::set<int> cut_from_server_;
   std::uint64_t messages_dropped_ = 0;
   std::uint64_t messages_duplicated_ = 0;
   std::uint64_t delay_spikes_ = 0;
   std::uint64_t down_drops_ = 0;
+  std::uint64_t partition_drops_ = 0;
+  std::uint64_t torn_writes_injected_ = 0;
+  std::uint64_t bit_flips_injected_ = 0;
 };
 
 /// Translates the experiment-level fault knobs into an injection plan.

@@ -37,6 +37,39 @@ struct CrashWindow {
   sim::Ticks downtime = 0;
 };
 
+/// A scheduled network partition: the link between client `node` and the
+/// server is severed from `at` until `at + duration` (the heal time). Both
+/// endpoints stay up — unlike a crash, the client keeps computing against
+/// its cache and its in-flight commits resolve through the unknown-outcome
+/// machinery. Asymmetric variants cut only one direction, modeling a dead
+/// callback channel while requests still flow (or vice versa).
+struct PartitionWindow {
+  enum class Direction {
+    kBoth,        // nothing crosses in either direction
+    kToServer,    // client -> server cut; server -> client still delivers
+    kFromServer,  // server -> client cut; client -> server still delivers
+  };
+  int node = 0;
+  sim::Ticks at = 0;
+  sim::Ticks duration = 0;
+  Direction direction = Direction::kBoth;
+};
+
+/// Storage-level fault rates, drawn per log force by the LogManager. Both
+/// faults are caught by the write-verify pass (checksummed, sequence-
+/// numbered records): the force re-appends the record and the commit is
+/// acknowledged only once a valid record is durable, so injected storage
+/// faults cost I/O but never lose committed work.
+struct StorageFaults {
+  /// Probability that a log force first writes a torn (partial) record.
+  double torn_write = 0.0;
+  /// Probability that a log record is corrupted on the medium and fails
+  /// its checksum on the write-verify read-back.
+  double bit_flip = 0.0;
+
+  bool Any() const { return torn_write > 0.0 || bit_flip > 0.0; }
+};
+
 /// A deterministic fault schedule for one run. Default-constructed, every
 /// fault is off: an injector built from `FaultPlan{}` never perturbs the
 /// simulation (asserted by regression tests).
@@ -46,9 +79,12 @@ struct FaultPlan {
   /// Per-link overrides keyed by (src, dst) node ids.
   std::map<std::pair<int, int>, LinkFaults> per_link;
   std::vector<CrashWindow> crashes;
+  std::vector<PartitionWindow> partitions;
+  StorageFaults storage;
 
   bool Any() const {
-    if (link.Any() || !crashes.empty()) {
+    if (link.Any() || !crashes.empty() || !partitions.empty() ||
+        storage.Any()) {
       return true;
     }
     for (const auto& [key, faults] : per_link) {

@@ -23,6 +23,11 @@ sim::Task<void> Network::Send(Message msg) {
   if (src.msg_cost > 0) {
     co_await src.cpu->Use(src.msg_cost * packets);
   }
+  if (injector_ != nullptr && injector_->LinkCut(msg.src, msg.dst)) {
+    // The sender paid to transmit, but the packets die at the severed link.
+    injector_->RecordPartitionDrop();
+    co_return;
+  }
   if (injector_ != nullptr) {
     switch (injector_->DrawSendOutcome(msg.src, msg.dst)) {
       case fault::FaultInjector::SendOutcome::kDrop:
@@ -53,6 +58,11 @@ sim::Process Network::TransferAndDeliver(Message msg, int packets) {
       injector_->RecordDownDrop();
       co_return;
     }
+    if (injector_->LinkCut(msg.src, msg.dst)) {
+      // The partition started while the message was in flight.
+      injector_->RecordPartitionDrop();
+      co_return;
+    }
   }
   auto dst_it = endpoints_.find(msg.dst);
   CCSIM_CHECK_MSG(dst_it != endpoints_.end(), "unregistered receiver %d",
@@ -60,6 +70,21 @@ sim::Process Network::TransferAndDeliver(Message msg, int packets) {
   const Endpoint& dst = dst_it->second;
   if (dst.msg_cost > 0) {
     co_await dst.cpu->Use(dst.msg_cost * packets);
+  }
+  if (injector_ != nullptr) {
+    // The receiver CPU charge takes time too: a crash or partition that
+    // lands during this final hop kills the message before it reaches the
+    // inbox (the receive never completed). Without this re-check a message
+    // could be delivered into a crashed node's (already cleared) inbox and
+    // be processed mid-recovery.
+    if (injector_->IsDown(msg.dst)) {
+      injector_->RecordDownDrop();
+      co_return;
+    }
+    if (injector_->LinkCut(msg.src, msg.dst)) {
+      injector_->RecordPartitionDrop();
+      co_return;
+    }
   }
   dst.inbox->Push(std::move(msg));
 }

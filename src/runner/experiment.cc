@@ -24,6 +24,7 @@ namespace {
 constexpr std::uint64_t kNetworkStream = 0x7e7;
 constexpr std::uint64_t kClientObjectStreamBase = 0x1000;
 constexpr std::uint64_t kClientDelayStreamBase = 0x20000;
+constexpr std::uint64_t kClientJitterStreamBase = 0x30000;
 constexpr std::uint64_t kFaultStream = 0xFA17;
 
 /// Server crash-restart: the node stays unreachable until log replay ends.
@@ -68,7 +69,9 @@ Result<RunResult> RunExperiment(const config::ExperimentConfig& config) {
         sim::Pcg32(seed, kClientObjectStreamBase +
                              static_cast<std::uint64_t>(i)),
         sim::Pcg32(seed,
-                   kClientDelayStreamBase + static_cast<std::uint64_t>(i)));
+                   kClientDelayStreamBase + static_cast<std::uint64_t>(i)),
+        sim::Pcg32(seed,
+                   kClientJitterStreamBase + static_cast<std::uint64_t>(i)));
     c->set_protocol(proto::MakeClientProtocol(config.algorithm, c.get()));
     clients.push_back(std::move(c));
   }
@@ -165,6 +168,28 @@ Result<RunResult> RunExperiment(const config::ExperimentConfig& config) {
         });
       }
     }
+    for (const config::FaultParams::PartitionEvent& part :
+         config.fault.partitions) {
+      CCSIM_CHECK(part.node >= 0 && part.node < config.system.num_clients);
+      fault::FaultInjector* inj = injector.get();
+      const int node = part.node;
+      fault::PartitionWindow::Direction dir =
+          fault::PartitionWindow::Direction::kBoth;
+      if (part.direction == 1) {
+        dir = fault::PartitionWindow::Direction::kToServer;
+      } else if (part.direction == 2) {
+        dir = fault::PartitionWindow::Direction::kFromServer;
+      }
+      const sim::Ticks at = sim::SecondsToTicks(part.at_s);
+      const sim::Ticks heal_at = at + sim::SecondsToTicks(part.duration_s);
+      sim.ScheduleAt(at, [inj, node, dir] {
+        inj->SetPartitioned(node, dir, true);
+      });
+      sim.ScheduleAt(heal_at, [inj, node, dir] {
+        inj->SetPartitioned(node, dir, false);
+      });
+    }
+    server.log().set_fault_injector(injector.get());
   }
 
   server.Start();
@@ -249,7 +274,15 @@ Result<RunResult> RunExperiment(const config::ExperimentConfig& config) {
     result.messages_duplicated = injector->messages_duplicated();
     result.delay_spikes = injector->delay_spikes();
     result.down_drops = injector->down_drops();
+    result.partition_drops = injector->partition_drops();
   }
+  result.shed_requests = metrics.shed_requests();
+  result.retry_budget_exhaustions = metrics.retry_budget_exhaustions();
+  result.ready_queue_high_water = server.ready_queue_high_water();
+  result.log_torn_writes = server.log().torn_writes_detected();
+  result.log_bit_flips = server.log().bit_flips_detected();
+  result.log_rewrites = server.log().log_rewrites();
+  result.log_records_truncated = server.log().records_truncated();
   result.rpc_retries = metrics.rpc_retries();
   result.rpc_timeouts = metrics.rpc_timeouts();
   result.timeout_aborts = metrics.timeout_aborts();
@@ -266,6 +299,23 @@ Result<RunResult> RunExperiment(const config::ExperimentConfig& config) {
   result.final_locks_held = server.locks().held_count();
   result.final_active_xacts = server.active_transactions();
   result.final_ready_queue = server.ready_queue_length();
+  if (config.fault.recovery_enabled) {
+    // Liveness watchdog: under recovery mode every RPC wait is bounded by
+    // the retransmission schedule (timeouts double to the cap; exhaustion
+    // yields a synthetic abort). A client still waiting far past that
+    // bound has a stuck coroutine — a liveness bug, not a slow run. The
+    // 2x margin absorbs timer jitter and queueing ahead of the timers.
+    const sim::Ticks schedule =
+        static_cast<sim::Ticks>(config.fault.max_rpc_retries + 1) *
+        sim::MillisToTicks(config.fault.rpc_timeout_cap_ms);
+    const sim::Ticks watchdog = 2 * schedule + sim::SecondsToTicks(60.0);
+    for (auto& c : clients) {
+      if (c->pending_rpcs() > 0 && !c->crashed() &&
+          now - c->last_rpc_at() > watchdog) {
+        ++result.stuck_clients;
+      }
+    }
+  }
   if (oracle != nullptr) {
     oracle->Finalize(metrics.unknown_outcomes());
     result.oracle_enabled = true;

@@ -74,6 +74,21 @@ struct RunResult {
   /// Commit requests whose outcome the client never learned (it may have
   /// committed server-side; the spec was re-run to be safe).
   std::uint64_t unknown_outcomes = 0;
+  /// Messages discarded at a severed (partitioned) link.
+  std::uint64_t partition_drops = 0;
+  /// Requests shed at admission by the bounded server ready queue.
+  std::uint64_t shed_requests = 0;
+  /// Attempts abandoned because the client retry budget ran out.
+  std::uint64_t retry_budget_exhaustions = 0;
+  /// Largest server ready-queue depth reached during the run.
+  std::uint64_t ready_queue_high_water = 0;
+  // Storage faults (log write-verify; all zero on perfect storage).
+  std::uint64_t log_torn_writes = 0;
+  std::uint64_t log_bit_flips = 0;
+  /// Re-appends forced by a failed write-verify.
+  std::uint64_t log_rewrites = 0;
+  /// Crash-torn tail records truncated (and re-forced) at restart recovery.
+  std::uint64_t log_records_truncated = 0;
 
   // Consistency-oracle counters (checker.enabled runs; all zero/false
   // otherwise). Commits here span the whole run including warmup — the
@@ -110,6 +125,10 @@ struct RunResult {
   std::size_t final_locks_held = 0;
   int final_active_xacts = 0;
   std::size_t final_ready_queue = 0;
+  /// Liveness watchdog: clients that ended the run with an RPC outstanding
+  /// far longer than a full retransmission schedule can take — a stuck
+  /// coroutine. Zero on every healthy run, faulted or not.
+  int stuck_clients = 0;
 };
 
 /// Builds the full simulated system for `config`, runs warmup plus the

@@ -101,6 +101,11 @@ class Metrics {
   /// exhausted or crash with a commit in flight). The spec is re-run, so the
   /// transaction is not lost, but it may have executed twice.
   void RecordUnknownOutcome() { ++unknown_outcomes_; }
+  /// A request the server shed at admission because the bounded ready queue
+  /// was full (overload backpressure).
+  void RecordShedRequest() { ++shed_requests_; }
+  /// An RPC attempt abandoned because the client's retry budget ran out.
+  void RecordRetryBudgetExhausted() { ++retry_budget_exhaustions_; }
 
   std::uint64_t timeout_aborts() const { return timeout_aborts_; }
   std::uint64_t crash_aborts() const { return crash_aborts_; }
@@ -116,6 +121,10 @@ class Metrics {
   sim::Ticks recovery_ticks() const { return recovery_ticks_; }
   std::uint64_t transactions_lost() const { return transactions_lost_; }
   std::uint64_t unknown_outcomes() const { return unknown_outcomes_; }
+  std::uint64_t shed_requests() const { return shed_requests_; }
+  std::uint64_t retry_budget_exhaustions() const {
+    return retry_budget_exhaustions_;
+  }
 
   /// Mean response time over the whole run (ticks), used as the mean of the
   /// exponential restart delay. Falls back to 100 ms before any commit.
@@ -202,6 +211,8 @@ class Metrics {
   sim::Ticks recovery_ticks_ = 0;
   std::uint64_t transactions_lost_ = 0;
   std::uint64_t unknown_outcomes_ = 0;
+  std::uint64_t shed_requests_ = 0;
+  std::uint64_t retry_budget_exhaustions_ = 0;
   sim::Ticks window_start_ = 0;
   bool record_history_ = false;
   std::vector<CommitRecord> history_;

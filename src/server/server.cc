@@ -279,8 +279,24 @@ sim::Process Server::Dispatch() {
     }
     if (IsTransactional(msg.type) && FindXact(msg.xact) == nullptr) {
       if (static_cast<int>(active_.size()) >= config_.system.mpl) {
+        const int limit = config_.fault.server_queue_limit;
+        if (limit > 0 && static_cast<int>(ready_.size()) >= limit) {
+          // Backpressure: the bounded ready queue is full, so the request
+          // is shed instead of queued without limit. A synchronous request
+          // gets an immediate aborted reply (the client backs off and
+          // retries the spec); anything else is dropped and resolves
+          // through the client's timeout path.
+          metrics_->RecordShedRequest();
+          if (IsSynchronous(msg.type)) {
+            simulator_->Spawn(ReplyAbortedTo(std::move(msg)));
+          }
+          continue;
+        }
         // MPL reached: the new transaction waits in the ready queue.
         ready_.push_back(std::move(msg));
+        if (ready_.size() > ready_high_water_) {
+          ready_high_water_ = ready_.size();
+        }
         continue;
       }
       Admit(msg);
@@ -570,6 +586,7 @@ void Server::Crash() {
   locks_.Reset();
   redo_pages_at_crash_ = pool_->CrashReset();
   directory_.Clear();
+  log_->OnCrash();
   protocol_->OnCrash();
 }
 

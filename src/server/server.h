@@ -205,6 +205,8 @@ class Server {
     return out;
   }
   std::size_t ready_queue_length() const { return ready_.size(); }
+  /// Largest ready-queue depth ever reached (overload diagnostics).
+  std::size_t ready_queue_high_water() const { return ready_high_water_; }
 
  private:
   /// Per-client delivery state for at-most-once RPC semantics and
@@ -264,6 +266,7 @@ class Server {
   std::unordered_map<int, std::uint64_t> active_by_client_;
   std::unordered_map<int, std::uint64_t> last_finished_;
   std::deque<net::Message> ready_;
+  std::size_t ready_high_water_ = 0;
 
   // --- recovery-mode state (inert when resilient_ is false) ---
   bool resilient_ = false;

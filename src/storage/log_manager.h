@@ -11,6 +11,10 @@
 #include "sim/task.h"
 #include "storage/disk.h"
 
+namespace ccsim::fault {
+class FaultInjector;
+}  // namespace ccsim::fault
+
 namespace ccsim::storage {
 
 /// The server log manager (paper §3.3.4): write-ahead logging to dedicated
@@ -38,8 +42,21 @@ class LogManager {
 
   bool enabled() const { return params_.enabled; }
 
+  /// Attaches a fault injector for storage faults (nullptr = perfect
+  /// storage, the default). The hook costs nothing when unset.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
+
   /// Forces the commit record (and the update records written with it) to a
   /// log disk. Read-only transactions (zero updated pages) write nothing.
+  ///
+  /// Records are modeled as checksummed and sequence-numbered: every force
+  /// ends with a write-verify read-back, so an injected torn write or bit
+  /// flip is detected immediately and the record re-appended (extra log
+  /// I/O) before the commit can be acknowledged. The only way an invalid
+  /// record reaches the durable log is a crash interrupting the force — the
+  /// crash-torn tail that restart recovery truncates.
   sim::Task<void> ForceCommit(int updated_pages);
 
   /// Charges an abort: reads the transaction's log tail and undoes the
@@ -47,12 +64,23 @@ class LogManager {
   /// page, on the page's data disk).
   sim::Task<void> ProcessAbort(const std::vector<db::PageId>& flushed_pages);
 
+  /// Marks every force still in flight as a crash-torn tail record: the
+  /// append never completed, so at restart the record fails its checksum
+  /// and is truncated. Such a commit was never acknowledged (the reply
+  /// strictly follows force completion), so only unacknowledged work is
+  /// affected — the transactions_lost == 0 contract survives. Called by
+  /// Server::Crash().
+  void OnCrash();
+
   /// Restart recovery after a server crash: scans the log (one sequential
-  /// read per log disk) and redoes the `redo_pages` committed updates that
-  /// were lost from the volatile buffer pool (one data-disk write each;
-  /// committed pages whose images had already been evicted to disk need no
-  /// redo and are not counted). The log survives the crash — commits were
-  /// forced — so no committed work is lost.
+  /// read per log disk), truncates at the first invalid (crash-torn)
+  /// record, re-forces the truncated commits from the redo information
+  /// (their version bumps survived in the durable version table), and
+  /// redoes the `redo_pages` committed updates that were lost from the
+  /// volatile buffer pool (one data-disk write each; committed pages whose
+  /// images had already been evicted to disk need no redo and are not
+  /// counted). Completed forces were write-verified, so no committed work
+  /// is lost.
   sim::Task<void> ReplayRecovery(int redo_pages);
 
   /// Consistency-oracle audit: stamps one LSN per updated page at the
@@ -68,6 +96,16 @@ class LogManager {
   std::uint64_t commits_logged() const { return commits_logged_; }
   std::uint64_t undo_page_ios() const { return undo_page_ios_; }
   std::uint64_t redo_page_ios() const { return redo_page_ios_; }
+  /// Storage-fault accounting: faults caught by the write-verify read-back,
+  /// re-appends they forced, records the force LSN counter has issued /
+  /// made durable, and crash-torn tail records truncated at recovery.
+  std::uint64_t torn_writes_detected() const { return torn_writes_detected_; }
+  std::uint64_t bit_flips_detected() const { return bit_flips_detected_; }
+  std::uint64_t log_rewrites() const { return log_rewrites_; }
+  std::uint64_t records_appended() const { return next_record_lsn_ - 1; }
+  std::uint64_t records_durable() const { return records_durable_; }
+  std::uint64_t records_truncated() const { return records_truncated_; }
+  int forces_in_flight() const { return forces_in_flight_; }
   void ResetStats() {
     commits_logged_ = 0;
     undo_page_ios_ = 0;
@@ -79,7 +117,21 @@ class LogManager {
   std::vector<Disk*> log_disks_;
   std::vector<Disk*> data_disks_;
   sim::Resource* server_cpu_;
+  fault::FaultInjector* injector_ = nullptr;
   std::size_t next_log_disk_ = 0;
+  /// Checksummed-record bookkeeping. Forces in flight when a crash hits are
+  /// the crash-torn tail; the epoch lets the interrupted coroutine detect
+  /// that its record was already truncated and skip the completion path.
+  std::uint64_t next_record_lsn_ = 1;
+  std::uint64_t records_durable_ = 0;
+  std::uint64_t records_truncated_ = 0;
+  /// Truncated records not yet re-forced by ReplayRecovery.
+  int truncation_pending_ = 0;
+  int forces_in_flight_ = 0;
+  std::uint64_t crash_epoch_ = 0;
+  std::uint64_t torn_writes_detected_ = 0;
+  std::uint64_t bit_flips_detected_ = 0;
+  std::uint64_t log_rewrites_ = 0;
   /// Audit state (AppendCommitRecord): next LSN to assign and the last
   /// (lsn, version) stamped per page. Survives simulated server crashes by
   /// design — the log is durable, so monotonicity must hold across them.

@@ -86,6 +86,101 @@ TEST(ConfigTest, ValidationCatchesBadRanges) {
   }
 }
 
+TEST(ConfigTest, ValidationCatchesBadFaultConfig) {
+  {
+    ExperimentConfig cfg = BaseConfig();
+    cfg.fault.torn_write_probability = 1.0;  // certain faults can't converge
+    EXPECT_FALSE(cfg.Validate().ok());
+  }
+  {
+    ExperimentConfig cfg = BaseConfig();
+    cfg.fault.bit_flip_probability = -0.1;
+    EXPECT_FALSE(cfg.Validate().ok());
+  }
+  {
+    // A crash window sticking out past the end of the run would leave the
+    // node down at harvest time.
+    ExperimentConfig cfg = BaseConfig();
+    cfg.fault.recovery_enabled = true;
+    cfg.control.warmup_seconds = 5;
+    cfg.control.max_measure_seconds = 60;
+    cfg.fault.crashes.push_back({-1, 60.0, 10.0});
+    EXPECT_FALSE(cfg.Validate().ok());
+  }
+  {
+    // Overlapping crash windows on the same node.
+    ExperimentConfig cfg = BaseConfig();
+    cfg.fault.recovery_enabled = true;
+    cfg.fault.crashes.push_back({-1, 10.0, 5.0});
+    cfg.fault.crashes.push_back({-1, 12.0, 5.0});
+    EXPECT_FALSE(cfg.Validate().ok());
+  }
+  {
+    // Partition node must be a client; the server cannot partition from
+    // itself.
+    ExperimentConfig cfg = BaseConfig();
+    cfg.fault.recovery_enabled = true;
+    cfg.fault.partitions.push_back({-1, 10.0, 1.0, 0});
+    EXPECT_FALSE(cfg.Validate().ok());
+    cfg.fault.partitions.back().node = cfg.system.num_clients;
+    EXPECT_FALSE(cfg.Validate().ok());
+  }
+  {
+    ExperimentConfig cfg = BaseConfig();
+    cfg.fault.recovery_enabled = true;
+    cfg.fault.partitions.push_back({0, 10.0, 1.0, 3});  // bad direction
+    EXPECT_FALSE(cfg.Validate().ok());
+  }
+  {
+    // Overlapping partition windows on the same node.
+    ExperimentConfig cfg = BaseConfig();
+    cfg.fault.recovery_enabled = true;
+    cfg.fault.partitions.push_back({2, 10.0, 5.0, 0});
+    cfg.fault.partitions.push_back({2, 14.0, 5.0, 1});
+    EXPECT_FALSE(cfg.Validate().ok());
+    // Disjoint windows on the same node are fine.
+    cfg.fault.partitions.back().at_s = 15.0;
+    EXPECT_TRUE(cfg.Validate().ok());
+  }
+  {
+    // A partition window past the run end never heals.
+    ExperimentConfig cfg = BaseConfig();
+    cfg.fault.recovery_enabled = true;
+    cfg.control.warmup_seconds = 5;
+    cfg.control.max_measure_seconds = 60;
+    cfg.fault.partitions.push_back({0, 60.0, 10.0, 0});
+    EXPECT_FALSE(cfg.Validate().ok());
+  }
+  {
+    // Partitions (and the overload knobs) need the recovery layer: without
+    // timeouts a cut-off client would hang forever.
+    ExperimentConfig cfg = BaseConfig();
+    cfg.fault.partitions.push_back({0, 10.0, 1.0, 0});
+    EXPECT_FALSE(cfg.Validate().ok());
+  }
+  {
+    ExperimentConfig cfg = BaseConfig();
+    cfg.fault.server_queue_limit = 16;
+    EXPECT_FALSE(cfg.Validate().ok());
+    cfg.fault.recovery_enabled = true;
+    EXPECT_TRUE(cfg.Validate().ok());
+  }
+  {
+    ExperimentConfig cfg = BaseConfig();
+    cfg.fault.recovery_enabled = true;
+    cfg.fault.retry_jitter = 1.5;
+    EXPECT_FALSE(cfg.Validate().ok());
+    cfg.fault.retry_jitter = 0.25;
+    EXPECT_TRUE(cfg.Validate().ok());
+  }
+  {
+    ExperimentConfig cfg = BaseConfig();
+    cfg.fault.recovery_enabled = true;
+    cfg.fault.retry_budget = -1;
+    EXPECT_FALSE(cfg.Validate().ok());
+  }
+}
+
 TEST(ConfigTest, CacheMustHoldWorkingSet) {
   ExperimentConfig cfg = BaseConfig();
   cfg.system.client_cache_pages = 5;  // < MaxXactSize

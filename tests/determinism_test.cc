@@ -89,6 +89,13 @@ std::string Serialize(const runner::RunResult& r) {
   Append(out, "buffer_writebacks", r.buffer_writebacks);
   Append(out, "log_forced_commits", r.log_forced_commits);
   Append(out, "undo_page_ios", r.undo_page_ios);
+  Append(out, "partition_drops", r.partition_drops);
+  Append(out, "shed_requests", r.shed_requests);
+  Append(out, "retry_budget_exhaustions", r.retry_budget_exhaustions);
+  Append(out, "ready_queue_high_water",
+         static_cast<std::uint64_t>(r.ready_queue_high_water));
+  Append(out, "log_records_truncated", r.log_records_truncated);
+  Append(out, "stuck_clients", static_cast<std::uint64_t>(r.stuck_clients));
   for (std::size_t i = 0; i < r.per_type_response.size(); ++i) {
     char name[48];
     std::snprintf(name, sizeof(name), "type%zu_response", i);

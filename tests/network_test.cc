@@ -266,6 +266,62 @@ TEST_F(NetworkTest, DownDestinationDropsInFlight) {
   EXPECT_EQ(arrivals[0].first, 2u);
 }
 
+TEST_F(NetworkTest, PartitionCutsOnlyTheSeveredDirection) {
+  fault::FaultInjector injector(fault::FaultPlan{}, sim::Pcg32(1, 2));
+  net_.set_fault_injector(&injector);
+  // Cut only client 0's outbound half: requests die, replies still arrive.
+  injector.SetPartitioned(0, fault::PartitionWindow::Direction::kToServer,
+                          true);
+  std::vector<std::pair<std::uint64_t, sim::Ticks>> to_server;
+  std::vector<std::pair<std::uint64_t, sim::Ticks>> to_client;
+  sim_.Spawn(ReceiveOne(sim_, server_inbox_, to_server, 1));
+  sim_.Spawn(ReceiveOne(sim_, client_inbox_, to_client, 1));
+  sim::Ticks sent_at = 0;
+  sim_.Spawn(SendOne(sim_, net_, ClientToServer(1), sent_at));
+  Message reply;
+  reply.type = MsgType::kReadReply;
+  reply.src = kServerNode;
+  reply.dst = 0;
+  reply.xact = 2;
+  sim_.Spawn(SendOne(sim_, net_, std::move(reply), sent_at));
+  sim_.Run(sim::SecondsToTicks(1));
+  EXPECT_TRUE(to_server.empty());
+  ASSERT_EQ(to_client.size(), 1u);
+  EXPECT_EQ(to_client[0].first, 2u);
+  EXPECT_EQ(injector.partition_drops(), 1u);
+
+  // Healing restores the link.
+  injector.SetPartitioned(0, fault::PartitionWindow::Direction::kToServer,
+                          false);
+  EXPECT_FALSE(injector.AnyPartitioned());
+  sim_.Spawn(SendOne(sim_, net_, ClientToServer(3), sent_at));
+  sim_.Run(sim::SecondsToTicks(2));
+  ASSERT_EQ(to_server.size(), 1u);
+  EXPECT_EQ(to_server[0].first, 3u);
+}
+
+TEST_F(NetworkTest, SymmetricPartitionCutsBothDirections) {
+  fault::FaultInjector injector(fault::FaultPlan{}, sim::Pcg32(1, 2));
+  net_.set_fault_injector(&injector);
+  injector.SetPartitioned(0, fault::PartitionWindow::Direction::kBoth, true);
+  std::vector<std::pair<std::uint64_t, sim::Ticks>> to_server;
+  std::vector<std::pair<std::uint64_t, sim::Ticks>> to_client;
+  sim_.Spawn(ReceiveOne(sim_, server_inbox_, to_server, 1));
+  sim_.Spawn(ReceiveOne(sim_, client_inbox_, to_client, 1));
+  sim::Ticks sent_at = 0;
+  sim_.Spawn(SendOne(sim_, net_, ClientToServer(1), sent_at));
+  Message reply;
+  reply.type = MsgType::kReadReply;
+  reply.src = kServerNode;
+  reply.dst = 0;
+  reply.xact = 2;
+  sim_.Spawn(SendOne(sim_, net_, std::move(reply), sent_at));
+  sim_.Run(sim::SecondsToTicks(1));
+  EXPECT_TRUE(to_server.empty());
+  EXPECT_TRUE(to_client.empty());
+  EXPECT_EQ(injector.partition_drops(), 2u);
+}
+
 TEST_F(NetworkTest, ResetStatsClearsInjectorCounters) {
   fault::FaultPlan plan;
   plan.link.drop = 1.0;

@@ -13,6 +13,8 @@
 #include "sim/simulator.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
 #include "storage/log_manager.h"
 
 namespace ccsim::storage {
@@ -240,6 +242,88 @@ TEST_F(StorageTest, DisabledLogManagerIsFree) {
   EXPECT_EQ(done, 2);
   EXPECT_EQ(log.commits_logged(), 0u);
   EXPECT_EQ(disks_[0]->random_accesses() + disks_[1]->random_accesses(), 0u);
+}
+
+sim::Process RecoverOne(LogManager& log, int redo_pages, int& done) {
+  co_await log.ReplayRecovery(redo_pages);
+  ++done;
+}
+
+TEST_F(StorageTest, WriteVerifyDetectsTornWriteAndRewrites) {
+  const DiskTiming timing{0, 0, sim::MillisToTicks(2)};
+  Disk log_disk(&sim_, "log", timing, sim::Pcg32(1, 4));
+  LogManager::Params params;
+  params.enabled = true;
+  LogManager log(params, layout_.get(), {&log_disk},
+                 {disks_[0].get(), disks_[1].get()}, cpu_.get());
+  fault::FaultPlan plan;
+  plan.storage.torn_write = 1.0;  // every force fails its read-back once
+  fault::FaultInjector injector(plan, sim::Pcg32(7, 7));
+  log.set_fault_injector(&injector);
+  int done = 0;
+  sim_.Spawn(ForceOne(log, 3, done));
+  sim_.Run(sim::SecondsToTicks(1));
+  EXPECT_EQ(done, 1);
+  EXPECT_EQ(log.torn_writes_detected(), 1u);
+  EXPECT_EQ(log.bit_flips_detected(), 0u);
+  EXPECT_EQ(log.log_rewrites(), 1u);
+  // The repair re-appends the record: two sequential log writes total.
+  EXPECT_EQ(log_disk.sequential_accesses(), 2u);
+  EXPECT_EQ(log.records_appended(), 1u);
+  EXPECT_EQ(log.records_durable(), 1u);
+  EXPECT_EQ(log.records_truncated(), 0u);
+}
+
+TEST_F(StorageTest, WriteVerifyDetectsBitFlipWhenNotTorn) {
+  const DiskTiming timing{0, 0, sim::MillisToTicks(2)};
+  Disk log_disk(&sim_, "log", timing, sim::Pcg32(1, 4));
+  LogManager::Params params;
+  params.enabled = true;
+  LogManager log(params, layout_.get(), {&log_disk},
+                 {disks_[0].get(), disks_[1].get()}, cpu_.get());
+  fault::FaultPlan plan;
+  plan.storage.bit_flip = 1.0;
+  fault::FaultInjector injector(plan, sim::Pcg32(7, 7));
+  log.set_fault_injector(&injector);
+  int done = 0;
+  sim_.Spawn(ForceOne(log, 2, done));
+  sim_.Run(sim::SecondsToTicks(1));
+  EXPECT_EQ(done, 1);
+  EXPECT_EQ(log.bit_flips_detected(), 1u);
+  EXPECT_EQ(log.torn_writes_detected(), 0u);
+  EXPECT_EQ(log.log_rewrites(), 1u);
+  EXPECT_EQ(log_disk.sequential_accesses(), 2u);
+  EXPECT_EQ(log.records_durable(), 1u);
+}
+
+TEST_F(StorageTest, CrashMidForceTruncatesAndRecoveryReforces) {
+  const DiskTiming timing{0, 0, sim::MillisToTicks(2)};
+  Disk log_disk(&sim_, "log", timing, sim::Pcg32(1, 4));
+  LogManager::Params params;
+  params.enabled = true;
+  LogManager log(params, layout_.get(), {&log_disk},
+                 {disks_[0].get(), disks_[1].get()}, cpu_.get());
+  int done = 0;
+  sim_.Spawn(ForceOne(log, 3, done));
+  // The append takes 2 ms; crash 1 ms in, while the force is in flight.
+  sim_.ScheduleAt(sim::MillisToTicks(1), [&log] { log.OnCrash(); });
+  sim_.Run(sim::SecondsToTicks(1));
+  EXPECT_EQ(done, 1);  // the zombie coroutine unwinds normally
+  // The record got an LSN but was truncated, not made durable.
+  EXPECT_EQ(log.records_appended(), 1u);
+  EXPECT_EQ(log.records_durable(), 0u);
+  EXPECT_EQ(log.records_truncated(), 1u);
+  EXPECT_EQ(log.forces_in_flight(), 0);
+
+  // Restart recovery scans the log (one read per log disk) and re-forces
+  // the truncated commit, making the log whole again.
+  sim_.Spawn(RecoverOne(log, 0, done));
+  sim_.Run(sim::SecondsToTicks(2));
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(log.records_durable(), 1u);
+  EXPECT_EQ(log.records_truncated(), 1u);  // historical count stays
+  // One partial append + one scan + one re-force.
+  EXPECT_EQ(log_disk.sequential_accesses(), 3u);
 }
 
 }  // namespace

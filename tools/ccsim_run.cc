@@ -19,6 +19,7 @@
 #include "runner/experiment.h"
 #include "runner/report.h"
 #include "runner/sweep.h"
+#include "sim/random.h"
 
 namespace {
 
@@ -69,6 +70,21 @@ void PrintUsage() {
       "  --spike=P:MS            delay-spike probability and size\n"
       "  --crash=NODE:AT:DOWN    crash NODE (-1 = server) at AT s for DOWN s\n"
       "                          (repeatable)\n"
+      "  --partition=NODE:AT:DUR[:DIR]\n"
+      "                          cut client NODE's link at AT s for DUR s;\n"
+      "                          DIR = both | in | out (default both;\n"
+      "                          in = client->server only). Repeatable;\n"
+      "                          enables recovery\n"
+      "  --torn-write=P          per-log-force torn-write probability\n"
+      "  --bit-flip=P            per-log-force bit-flip probability\n"
+      "  --queue-limit=N         bound the server ready queue (shed beyond)\n"
+      "  --retry-budget=N        per-attempt retransmission budget\n"
+      "  --retry-jitter=P        randomize RPC timeouts by +/- P/2\n"
+      "  --chaos-soak=N          run N seeded compound-fault cocktails\n"
+      "                          (seeds --seed .. --seed+N-1) across all\n"
+      "                          five protocols with the oracle on; exits\n"
+      "                          non-zero and prints the failing seed's\n"
+      "                          plan on any violation\n"
       "  --recovery              enable the recovery layer without faults\n"
       "  --check                 enable the consistency oracle (serializa-\n"
       "                          bility + coherence audits; aborts with a\n"
@@ -99,7 +115,9 @@ void PrintCsvHeader() {
       "cache_hit,buffer_hit,messages,packets,stalled,"
       "dropped,duplicated,spikes,down_drops,retries,timeouts,"
       "timeout_aborts,crash_aborts,lease_exp,dup_suppressed,gc_xacts,"
-      "client_crashes,server_crashes,recovery_s,lost,unknown\n");
+      "client_crashes,server_crashes,recovery_s,lost,unknown,"
+      "partition_drops,shed,budget_exhausted,queue_hwm,"
+      "torn_writes,bit_flips,log_rewrites,log_truncated,stuck\n");
 }
 
 void PrintCsvRow(const std::string& algorithm_name,
@@ -108,7 +126,7 @@ void PrintCsvRow(const std::string& algorithm_name,
       "%s,%d,%.3f,%.3f,%.6f,%.6f,%.4f,%llu,%llu,%llu,%llu,%llu,%.4f,"
       "%.4f,%.4f,%.4f,%.4f,%.4f,%llu,%llu,%d,"
       "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
-      "%.4f,%llu,%llu\n",
+      "%.4f,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%d\n",
       algorithm_name.c_str(), cfg.system.num_clients,
       cfg.transaction.inter_xact_loc, cfg.transaction.prob_write,
       r.mean_response_s, r.response_ci_s, r.throughput_tps,
@@ -136,7 +154,200 @@ void PrintCsvRow(const std::string& algorithm_name,
       static_cast<unsigned long long>(r.client_crashes),
       static_cast<unsigned long long>(r.server_crashes), r.recovery_seconds,
       static_cast<unsigned long long>(r.transactions_lost),
-      static_cast<unsigned long long>(r.unknown_outcomes));
+      static_cast<unsigned long long>(r.unknown_outcomes),
+      static_cast<unsigned long long>(r.partition_drops),
+      static_cast<unsigned long long>(r.shed_requests),
+      static_cast<unsigned long long>(r.retry_budget_exhaustions),
+      static_cast<unsigned long long>(r.ready_queue_high_water),
+      static_cast<unsigned long long>(r.log_torn_writes),
+      static_cast<unsigned long long>(r.log_bit_flips),
+      static_cast<unsigned long long>(r.log_rewrites),
+      static_cast<unsigned long long>(r.log_records_truncated),
+      r.stuck_clients);
+}
+
+// --- chaos soak -----------------------------------------------------------
+
+/// The five consistency protocols, inter-transaction caching variants.
+const char* const kSoakAlgorithms[] = {"2pl", "cert", "callback", "no-wait",
+                                       "no-wait-notify"};
+constexpr int kSoakAlgorithmCount = 5;
+
+/// Deterministically derives a compound-fault cocktail from `seed`: lossy
+/// links, crash windows, a partition, storage faults, and overload knobs,
+/// each present with some probability. The same seed always yields the
+/// same plan, so a failure reproduces from the seed alone.
+ExperimentConfig MakeChaosConfig(std::uint64_t seed, std::string* plan) {
+  ccsim::sim::Pcg32 rng(seed, /*stream=*/0xC0C7);
+  ExperimentConfig cfg = ccsim::config::BaseConfig();
+  cfg.system.num_clients = 8;
+  cfg.control.seed = seed;
+  cfg.control.warmup_seconds = 5;
+  cfg.control.target_commits = 150;
+  cfg.control.max_measure_seconds = 120;
+  cfg.fault.recovery_enabled = true;
+  cfg.checker.enabled = true;
+  ccsim::config::FaultParams& f = cfg.fault;
+  f.drop_probability = rng.UniformReal(0.0, 0.08);
+  f.duplicate_probability = rng.UniformReal(0.0, 0.04);
+  f.delay_spike_probability = rng.UniformReal(0.0, 0.08);
+  f.delay_spike_ms = rng.UniformReal(5.0, 40.0);
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), "drop=%.3f dup=%.3f spike=%.3f:%.0fms",
+                f.drop_probability, f.duplicate_probability,
+                f.delay_spike_probability, f.delay_spike_ms);
+  *plan = buf;
+  if (rng.Bernoulli(0.5)) {
+    ccsim::config::FaultParams::CrashEvent crash;
+    crash.node = -1;  // the server
+    crash.at_s = rng.UniformReal(10.0, 40.0);
+    crash.downtime_s = rng.UniformReal(0.5, 3.0);
+    f.crashes.push_back(crash);
+    std::snprintf(buf, sizeof(buf), " crash=-1:%.1f:%.1f", crash.at_s,
+                  crash.downtime_s);
+    *plan += buf;
+  }
+  if (rng.Bernoulli(0.6)) {
+    ccsim::config::FaultParams::CrashEvent crash;
+    crash.node = static_cast<int>(
+        rng.UniformInt(0, cfg.system.num_clients - 1));
+    crash.at_s = rng.UniformReal(10.0, 40.0);
+    crash.downtime_s = rng.UniformReal(0.5, 3.0);
+    f.crashes.push_back(crash);
+    std::snprintf(buf, sizeof(buf), " crash=%d:%.1f:%.1f", crash.node,
+                  crash.at_s, crash.downtime_s);
+    *plan += buf;
+  }
+  if (rng.Bernoulli(0.7)) {
+    ccsim::config::FaultParams::PartitionEvent part;
+    part.node = static_cast<int>(
+        rng.UniformInt(0, cfg.system.num_clients - 1));
+    part.at_s = rng.UniformReal(10.0, 40.0);
+    part.duration_s = rng.UniformReal(1.0, 10.0);
+    part.direction = static_cast<int>(rng.UniformInt(0, 2));
+    f.partitions.push_back(part);
+    static const char* const kDirNames[] = {"both", "in", "out"};
+    std::snprintf(buf, sizeof(buf), " partition=%d:%.1f:%.1f:%s", part.node,
+                  part.at_s, part.duration_s, kDirNames[part.direction]);
+    *plan += buf;
+  }
+  if (rng.Bernoulli(0.5)) {
+    f.torn_write_probability = rng.UniformReal(0.02, 0.3);
+    std::snprintf(buf, sizeof(buf), " torn=%.3f", f.torn_write_probability);
+    *plan += buf;
+  }
+  if (rng.Bernoulli(0.5)) {
+    f.bit_flip_probability = rng.UniformReal(0.02, 0.2);
+    std::snprintf(buf, sizeof(buf), " flip=%.3f", f.bit_flip_probability);
+    *plan += buf;
+  }
+  if (rng.Bernoulli(0.5)) {
+    f.server_queue_limit = static_cast<int>(rng.UniformInt(8, 32));
+    std::snprintf(buf, sizeof(buf), " qlimit=%d", f.server_queue_limit);
+    *plan += buf;
+  }
+  if (rng.Bernoulli(0.5)) {
+    f.retry_budget = static_cast<int>(rng.UniformInt(8, 40));
+    std::snprintf(buf, sizeof(buf), " budget=%d", f.retry_budget);
+    *plan += buf;
+  }
+  if (rng.Bernoulli(0.5)) {
+    f.retry_jitter = rng.UniformReal(0.1, 0.5);
+    std::snprintf(buf, sizeof(buf), " jitter=%.2f", f.retry_jitter);
+    *plan += buf;
+  }
+  return cfg;
+}
+
+/// Runs `n` seeded chaos cocktails (seeds base..base+n-1) across all five
+/// protocols with the consistency oracle on. Plans are printed before the
+/// runs start so a fatal oracle abort is attributable to its seed; any
+/// surviving failure prints the seed and a one-flag reproduction command.
+int RunChaosSoak(int n, std::uint64_t base_seed, int jobs) {
+  std::vector<std::string> plans(static_cast<std::size_t>(n));
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(static_cast<std::size_t>(n) * kSoakAlgorithmCount);
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    ExperimentConfig cfg =
+        MakeChaosConfig(seed, &plans[static_cast<std::size_t>(i)]);
+    std::printf("chaos seed %llu: %s\n",
+                static_cast<unsigned long long>(seed),
+                plans[static_cast<std::size_t>(i)].c_str());
+    for (const char* name : kSoakAlgorithms) {
+      for (const AlgorithmChoice& choice : kAlgorithms) {
+        if (std::strcmp(name, choice.name) == 0) {
+          cfg.algorithm.algorithm = choice.algorithm;
+          cfg.algorithm.caching = choice.caching;
+          configs.push_back(cfg);
+          break;
+        }
+      }
+    }
+  }
+  std::fflush(stdout);
+  const auto results = ccsim::runner::RunExperiments(
+      configs, jobs > 0 ? jobs : ccsim::runner::DefaultJobs());
+  int failures = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    std::uint64_t commits = 0, lost = 0, unknown = 0, part_drops = 0;
+    std::uint64_t shed = 0, truncated = 0;
+    int stuck = 0;
+    std::string verdict;
+    for (int a = 0; a < kSoakAlgorithmCount; ++a) {
+      const std::size_t idx =
+          static_cast<std::size_t>(i) * kSoakAlgorithmCount +
+          static_cast<std::size_t>(a);
+      if (!results[idx].ok()) {
+        verdict += std::string(" ") + kSoakAlgorithms[a] + ": " +
+                   results[idx].status().ToString();
+        continue;
+      }
+      const RunResult& r = results[idx].ValueOrDie();
+      commits += r.commits;
+      lost += r.transactions_lost;
+      unknown += r.unknown_outcomes;
+      part_drops += r.partition_drops;
+      shed += r.shed_requests;
+      truncated += r.log_records_truncated;
+      stuck += r.stuck_clients;
+      if (r.stalled) {
+        verdict += std::string(" ") + kSoakAlgorithms[a] + ": STALLED";
+      }
+      if (r.transactions_lost > 0) {
+        verdict += std::string(" ") + kSoakAlgorithms[a] + ": LOST";
+      }
+      if (r.stuck_clients > 0) {
+        verdict += std::string(" ") + kSoakAlgorithms[a] + ": STUCK";
+      }
+    }
+    if (verdict.empty()) {
+      std::printf("chaos seed %llu: ok (commits %llu, unknown %llu, "
+                  "part-drops %llu, shed %llu, log-truncated %llu)\n",
+                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(commits),
+                  static_cast<unsigned long long>(unknown),
+                  static_cast<unsigned long long>(part_drops),
+                  static_cast<unsigned long long>(shed),
+                  static_cast<unsigned long long>(truncated));
+    } else {
+      ++failures;
+      std::printf("chaos seed %llu: FAILED —%s\n",
+                  static_cast<unsigned long long>(seed), verdict.c_str());
+      std::printf("  plan : %s\n", plans[static_cast<std::size_t>(i)].c_str());
+      std::printf("  repro: ccsim_run --chaos-soak=1 --seed=%llu\n",
+                  static_cast<unsigned long long>(seed));
+      (void)stuck;
+    }
+  }
+  if (failures == 0) {
+    std::printf("chaos soak: %d seeds x %d protocols, all clean\n", n,
+                kSoakAlgorithmCount);
+  } else {
+    std::printf("chaos soak: %d of %d seeds FAILED\n", failures, n);
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -149,6 +360,7 @@ int main(int argc, char** argv) {
   cfg.control.max_measure_seconds = 600;
   bool csv = false;
   int jobs = 0;  // 0 = DefaultJobs()
+  int chaos_soak = 0;
   std::vector<int> sweep_clients;
   std::string algorithm_name = "2pl";
 
@@ -251,6 +463,53 @@ int main(int argc, char** argv) {
       crash.downtime_s = std::atof(value.substr(c2 + 1).c_str());
       cfg.fault.crashes.push_back(crash);
       cfg.fault.recovery_enabled = true;
+    } else if (ParseValue(arg, "--partition", &value)) {
+      const std::size_t c1 = value.find(':');
+      const std::size_t c2 =
+          c1 == std::string::npos ? std::string::npos : value.find(':', c1 + 1);
+      if (c2 == std::string::npos) {
+        std::fprintf(stderr, "--partition wants NODE:AT:DUR[:DIR]\n");
+        return 2;
+      }
+      const std::size_t c3 = value.find(':', c2 + 1);
+      ccsim::config::FaultParams::PartitionEvent part;
+      part.node = std::atoi(value.substr(0, c1).c_str());
+      part.at_s = std::atof(value.substr(c1 + 1, c2 - c1 - 1).c_str());
+      part.duration_s = std::atof(value.substr(c2 + 1, c3 - c2 - 1).c_str());
+      if (c3 != std::string::npos) {
+        const std::string dir = value.substr(c3 + 1);
+        if (dir == "both") {
+          part.direction = 0;
+        } else if (dir == "in") {
+          part.direction = 1;
+        } else if (dir == "out") {
+          part.direction = 2;
+        } else {
+          std::fprintf(stderr, "--partition DIR wants both|in|out\n");
+          return 2;
+        }
+      }
+      cfg.fault.partitions.push_back(part);
+      cfg.fault.recovery_enabled = true;
+    } else if (ParseValue(arg, "--torn-write", &value)) {
+      cfg.fault.torn_write_probability = std::atof(value.c_str());
+    } else if (ParseValue(arg, "--bit-flip", &value)) {
+      cfg.fault.bit_flip_probability = std::atof(value.c_str());
+    } else if (ParseValue(arg, "--queue-limit", &value)) {
+      cfg.fault.server_queue_limit = std::atoi(value.c_str());
+      cfg.fault.recovery_enabled = true;
+    } else if (ParseValue(arg, "--retry-budget", &value)) {
+      cfg.fault.retry_budget = std::atoi(value.c_str());
+      cfg.fault.recovery_enabled = true;
+    } else if (ParseValue(arg, "--retry-jitter", &value)) {
+      cfg.fault.retry_jitter = std::atof(value.c_str());
+      cfg.fault.recovery_enabled = true;
+    } else if (ParseValue(arg, "--chaos-soak", &value)) {
+      chaos_soak = std::atoi(value.c_str());
+      if (chaos_soak < 1) {
+        std::fprintf(stderr, "--chaos-soak wants a positive seed count\n");
+        return 2;
+      }
     } else if (std::strcmp(arg, "--recovery") == 0) {
       cfg.fault.recovery_enabled = true;
     } else if (std::strcmp(arg, "--check") == 0) {
@@ -304,6 +563,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown algorithm '%s' (see --list)\n",
                  algorithm_name.c_str());
     return 2;
+  }
+
+  if (chaos_soak > 0) {
+    return RunChaosSoak(chaos_soak, cfg.control.seed, jobs);
   }
 
   if (!sweep_clients.empty()) {
@@ -395,6 +658,22 @@ int main(int argc, char** argv) {
                 r.recovery_seconds,
                 static_cast<unsigned long long>(r.transactions_lost),
                 static_cast<unsigned long long>(r.unknown_outcomes));
+    std::printf("degradation        : part-drops %llu, shed %llu, "
+                "budget-exhausted %llu, queue-hwm %llu, stuck %d\n",
+                static_cast<unsigned long long>(r.partition_drops),
+                static_cast<unsigned long long>(r.shed_requests),
+                static_cast<unsigned long long>(r.retry_budget_exhaustions),
+                static_cast<unsigned long long>(r.ready_queue_high_water),
+                r.stuck_clients);
+  }
+  if (cfg.fault.torn_write_probability > 0 ||
+      cfg.fault.bit_flip_probability > 0 || r.log_records_truncated > 0) {
+    std::printf("storage faults     : torn %llu, bit-flips %llu, rewrites "
+                "%llu, truncated %llu\n",
+                static_cast<unsigned long long>(r.log_torn_writes),
+                static_cast<unsigned long long>(r.log_bit_flips),
+                static_cast<unsigned long long>(r.log_rewrites),
+                static_cast<unsigned long long>(r.log_records_truncated));
   }
   if (r.oracle_enabled) {
     std::printf("oracle             : %s\n",

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Seeded chaos soak: N randomized compound-fault cocktails (network loss,
+# crash windows, partitions, storage faults, overload knobs) across all
+# five consistency protocols with the serializability oracle on. Any
+# oracle violation, lost committed transaction, or liveness stall fails
+# the soak and prints the failing seed plus its fault plan; re-run a
+# single seed with `ccsim_run --chaos-soak=1 --seed=N`.
+#
+# Usage: tools/chaos_soak.sh [N] [build-dir]
+#   N          number of seeds (default 50; seeds run 1..N)
+#   build-dir  tree containing tools/ccsim_run (default: build)
+# Environment:
+#   CCSIM_JOBS  worker threads (default: all cores)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+n="${1:-50}"
+build_dir="${2:-$repo_root/build}"
+jobs="${CCSIM_JOBS:-$(nproc)}"
+
+runner="$build_dir/tools/ccsim_run"
+if [[ ! -x "$runner" ]]; then
+  echo "error: $runner not built (cmake --build $build_dir)" >&2
+  exit 2
+fi
+
+exec "$runner" --chaos-soak="$n" --seed=1 --jobs="$jobs"

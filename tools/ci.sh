@@ -7,7 +7,9 @@
 #                            invariant auditor, incl. the broken-protocol
 #                            negative control),
 #   4. the determinism tests (byte-identical replay, serial-vs-parallel
-#      sweeps) as an explicit final gate.
+#      sweeps) as an explicit final gate,
+#   5. a bounded chaos soak (fixed seeds, 3 compound-fault cocktails across
+#      all five protocols with the oracle on) under the same sanitizer.
 #
 # Usage: tools/ci.sh [build-dir]   (default: build-ci)
 # Environment:
@@ -41,5 +43,8 @@ ctest -L oracle --output-on-failure -j"$jobs"
 
 step "determinism gate"
 ctest -R "Determinism" --output-on-failure -j"$jobs"
+
+step "bounded chaos soak (3 fixed seeds x 5 protocols)"
+"$build_dir"/tools/ccsim_run --chaos-soak=3 --seed=1 --jobs="$jobs"
 
 step "ci passed"
