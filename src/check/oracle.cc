@@ -25,13 +25,11 @@ std::string Format(const char* fmt, ...) {
 
 }  // namespace
 
-Oracle::Oracle(const db::VersionTable* versions, Options options)
-    : versions_(versions), options_(std::move(options)) {}
+Oracle::Oracle(Options options) : options_(std::move(options)) {}
 
-void Oracle::OnCommit(
-    int client, std::uint64_t xact, std::int64_t at,
-    const std::vector<std::pair<db::PageId, std::uint64_t>>& reads,
-    const std::vector<std::pair<db::PageId, std::uint64_t>>& writes) {
+void Oracle::OnCommit(int client, std::uint64_t xact, std::int64_t at,
+                      std::span<const PageVersion> reads,
+                      std::span<const PageVersion> writes) {
   CCSIM_CHECK_MSG(node_of_.find(xact) == node_of_.end(),
                   "transaction %" PRIu64 " committed twice", xact);
   const int node = graph_.AddNode();
@@ -167,20 +165,21 @@ void Oracle::OnUnknownOutcome(std::uint64_t xact) {
 void Oracle::OnTrustedLocalRead(int client, db::PageId page,
                                 std::uint64_t version, bool retained_lock,
                                 std::int64_t lease_until, std::int64_t now,
-                                bool fault_free) {
+                                bool fault_free,
+                                std::uint64_t current_version) {
   ++trusted_reads_;
   CCSIM_CHECK_MSG(lease_until == 0 || now <= lease_until,
                   "client %d trusted page %d past its lease "
                   "(now %" PRId64 ", lease %" PRId64 ")",
                   client, page, now, lease_until);
-  if (retained_lock && fault_free && versions_ != nullptr) {
+  if (retained_lock && fault_free && current_version != 0) {
     // A retained callback lock blocks writers, so on a fault-free run the
-    // cached copy must still be the latest committed version at use time.
-    const std::uint64_t current = versions_->Get(page);
-    CCSIM_CHECK_MSG(version == current,
+    // cached copy must still be the latest committed version at use time
+    // (current_version was resolved by the caller at that moment).
+    CCSIM_CHECK_MSG(version == current_version,
                     "client %d trusted a retained copy of page %d at "
                     "v%" PRIu64 " but v%" PRIu64 " is committed",
-                    client, page, version, current);
+                    client, page, version, current_version);
   }
 }
 

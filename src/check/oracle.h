@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -13,6 +14,9 @@
 #include "db/database.h"
 
 namespace ccsim::check {
+
+/// A (page, version) pair: an element of a commit's read or write set.
+using PageVersion = std::pair<db::PageId, std::uint64_t>;
 
 /// Run-time-optional consistency oracle: observes every committed
 /// transaction's read set (page, version seen) and write set (page, version
@@ -29,6 +33,13 @@ namespace ccsim::check {
 /// any RNG stream, so checker-on runs are deterministic at any sweep
 /// `--jobs` value and checker-off runs are bit-identical to a build without
 /// the checker (every hook is a null-pointer branch).
+///
+/// The oracle itself is single-threaded and thread-agnostic: it trusts its
+/// caller to serialize the feed. In production the check::Checker front-end
+/// applies every record from one thread (the sim thread in synchronous
+/// mode, the verification thread in pipelined mode); currency lookups are
+/// resolved by the caller at feed time, so nothing here touches live
+/// simulation state.
 class Oracle {
  public:
   struct Options {
@@ -39,10 +50,7 @@ class Oracle {
     std::string context;
   };
 
-  /// `versions` is the server's durable version table — the authority for
-  /// "latest committed version" in currency checks. May be null in unit
-  /// tests that feed the graph directly.
-  Oracle(const db::VersionTable* versions, Options options);
+  explicit Oracle(Options options);
 
   Oracle(const Oracle&) = delete;
   Oracle& operator=(const Oracle&) = delete;
@@ -53,8 +61,16 @@ class Oracle {
   /// `writes` (page, version installed). Feeds the serialization graph;
   /// fatal (with cycle dump) if the history stops being serializable.
   void OnCommit(int client, std::uint64_t xact, std::int64_t at,
-                const std::vector<std::pair<db::PageId, std::uint64_t>>& reads,
-                const std::vector<std::pair<db::PageId, std::uint64_t>>& writes);
+                std::span<const PageVersion> reads,
+                std::span<const PageVersion> writes);
+
+  /// Convenience overload for tests that feed hand-built histories.
+  void OnCommit(int client, std::uint64_t xact, std::int64_t at,
+                const std::vector<PageVersion>& reads,
+                const std::vector<PageVersion>& writes) {
+    OnCommit(client, xact, at, std::span<const PageVersion>(reads),
+             std::span<const PageVersion>(writes));
+  }
 
   /// A server-side transaction was aborted (abort pipeline, GC, or crash).
   /// Only consumed by unknown-outcome reconciliation.
@@ -78,9 +94,14 @@ class Oracle {
   /// justified at the moment of use: the lease (if any) has not expired,
   /// and — for retained locks on a fault-free run, where no crash/GC window
   /// exists — the cached version is the latest committed one.
+  /// `current_version` is the latest committed version of `page` resolved
+  /// by the caller *at use time* (0 = not resolved / skip the currency
+  /// check): resolving on the sim thread is what lets the pipelined
+  /// checker apply this record later without touching live server state.
   void OnTrustedLocalRead(int client, db::PageId page, std::uint64_t version,
                           bool retained_lock, std::int64_t lease_until,
-                          std::int64_t now, bool fault_free);
+                          std::int64_t now, bool fault_free,
+                          std::uint64_t current_version);
 
   /// A client finished an attempt with a structurally-clean cache (no pins,
   /// no dirty pages, no per-transaction flags). Counted only; the checks
@@ -155,7 +176,6 @@ class Oracle {
   void Violate(const SerializationGraph::Cycle& cycle);
   std::string DescribeNode(int node) const;
 
-  const db::VersionTable* versions_;
   Options options_;
   SerializationGraph graph_;
   std::unordered_map<std::uint64_t, int> node_of_;

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <utility>
 
-#include "check/oracle.h"
+#include "check/checker.h"
 #include "proto/protocol.h"
 #include "util/macros.h"
 
@@ -83,8 +83,7 @@ std::uint64_t Client::NewXactUid() {
          static_cast<std::uint64_t>(id_ + 1);
 }
 
-void Client::NoteAbort(std::uint64_t xact,
-                       const std::vector<db::PageId>& stale) {
+void Client::NoteAbort(std::uint64_t xact, std::span<const db::PageId> stale) {
   if (xact == 0 || xact != current_xact_) {
     return;  // notice for an older attempt; already handled
   }
@@ -173,8 +172,8 @@ sim::Task<net::Message> Client::Rpc(net::Message msg) {
   // of the run.
   if (msg.type == net::MsgType::kCommitRequest && !first_send) {
     metrics_->RecordUnknownOutcome();
-    if (check::Oracle* oracle = metrics_->oracle()) {
-      oracle->OnUnknownOutcome(msg.xact);
+    if (check::Checker* checker = metrics_->checker()) {
+      checker->OnUnknownOutcome(msg.xact);
     }
   }
   if (current_xact_ != 0 && msg.xact == current_xact_ && !abort_flag_) {
@@ -305,10 +304,10 @@ sim::Task<void> Client::ChargePageProcessing(int pages) {
 }
 
 sim::Task<void> Client::InstallPage(db::PageId page, CachedPage info) {
-  std::vector<ClientCache::Evicted> victims = cache_.Insert(page, info);
+  ClientCache::EvictedList victims = cache_.Insert(page, info);
   cache_.Pin(page);
   if (!victims.empty()) {
-    co_await protocol_->HandleEvictions(std::move(victims));
+    co_await protocol_->HandleEvictions(victims);
   }
 }
 
@@ -336,7 +335,7 @@ sim::Task<void> Client::DrainDeferred() {
   while (!deferred_.empty()) {
     net::Message msg = std::move(deferred_.front());
     deferred_.pop_front();
-    co_await protocol_->HandleAsync(std::move(msg));
+    co_await protocol_->HandleAsync(msg);
   }
 }
 
@@ -360,12 +359,12 @@ sim::Process Client::Driver() {
       protocol_->OnAttemptStart();
       const bool committed = co_await protocol_->RunAttempt(spec);
       co_await protocol_->OnAttemptEnd(committed);
-      if (metrics_->oracle() != nullptr && !crash_dirty_) {
+      if (metrics_->checker() != nullptr && !crash_dirty_) {
         // Attempt-boundary coherence audit: the protocol must leave the
         // cache structurally clean (a crashed cache is exempt — its wipe
         // is still owed at the top of the next attempt).
         cache_.AuditEndOfAttempt();
-        metrics_->oracle()->NoteClientAudit();
+        metrics_->checker()->NoteClientAudit();
       }
       if (committed) {
         break;
@@ -420,7 +419,7 @@ sim::Process Client::Dispatcher() {
       deferred_.push_back(std::move(msg));
       continue;
     }
-    co_await protocol_->HandleAsync(std::move(msg));
+    co_await protocol_->HandleAsync(msg);
   }
 }
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <span>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -75,7 +76,7 @@ class Client {
   bool abort_flag() const { return abort_flag_; }
   /// Marks the current attempt aborted; `stale_pages` are dropped from the
   /// cache at attempt end. Ignored for non-current uids.
-  void NoteAbort(std::uint64_t xact, const std::vector<db::PageId>& stale);
+  void NoteAbort(std::uint64_t xact, std::span<const db::PageId> stale);
   /// Why the current attempt aborted (recorded once per failed attempt).
   runner::AbortKind last_abort_kind() const { return last_abort_kind_; }
   void set_last_abort_kind(runner::AbortKind kind) {

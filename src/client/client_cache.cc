@@ -4,9 +4,9 @@
 
 namespace ccsim::client {
 
-std::vector<ClientCache::Evicted> ClientCache::Insert(db::PageId page,
+ClientCache::EvictedList ClientCache::Insert(db::PageId page,
                                                       CachedPage info) {
-  std::vector<Evicted> victims;
+  EvictedList victims;
   while (static_cast<int>(lru_.size()) >= capacity_) {
     const auto* victim = lru_.VictimCandidate();
     if (victim == nullptr) {
@@ -58,7 +58,7 @@ void ClientCache::AuditEndOfAttempt() const {
   });
 }
 
-std::vector<db::PageId> ClientCache::DirtyPages() const {
+ClientCache::PageIdList ClientCache::DirtyPages() const {
   std::vector<db::PageId> dirty;
   lru_.ForEach([&](const LruTable<db::PageId, CachedPage>::Entry& e) {
     if (e.value.dirty) {

@@ -2,10 +2,10 @@
 #define CCSIM_CLIENT_CLIENT_CACHE_H_
 
 #include <cstdint>
-#include <vector>
 
 #include "db/database.h"
 #include "util/lru.h"
+#include "util/small_vector.h"
 
 namespace ccsim::client {
 
@@ -51,6 +51,12 @@ class ClientCache {
     db::PageId page;
     CachedPage info;
   };
+  /// Inline-capacity victim list: one insert evicts at most a handful of
+  /// pages (usually exactly one), so the eviction path allocates nothing.
+  using EvictedList = util::SmallVector<Evicted, 4>;
+  /// Page-id list sized like net::Message lists (dirty sets fit a
+  /// transaction's write set).
+  using PageIdList = util::SmallVector<db::PageId, 12>;
 
   explicit ClientCache(int capacity) : capacity_(capacity) {}
   ClientCache(const ClientCache&) = delete;
@@ -71,7 +77,7 @@ class ClientCache {
   /// Fatal if the page is already cached. Returns the victims (oldest
   /// first) for protocol processing. If every page is pinned the cache
   /// overflows temporarily rather than deadlocking (counted).
-  std::vector<Evicted> Insert(db::PageId page, CachedPage info);
+  EvictedList Insert(db::PageId page, CachedPage info);
 
   void Erase(db::PageId page) { lru_.Erase(page); }
   void Clear() { lru_.Clear(); }
@@ -106,7 +112,7 @@ class ClientCache {
   }
 
   /// Pages currently dirty (in MRU order).
-  std::vector<db::PageId> DirtyPages() const;
+  PageIdList DirtyPages() const;
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }

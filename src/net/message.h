@@ -2,10 +2,10 @@
 #define CCSIM_NET_MESSAGE_H_
 
 #include <cstdint>
-#include <vector>
 
 #include "db/database.h"
 #include "lock/lock_manager.h"
+#include "util/small_vector.h"
 
 namespace ccsim::net {
 
@@ -45,6 +45,15 @@ enum class MsgType {
   kUpdatePropagation,
 };
 
+/// Inline capacity of message page lists: transactions touch 4-12 pages
+/// (Table 5), so 12 covers read/write sets and the common fetch, ack, and
+/// eviction lists without heap traffic; outliers spill transparently.
+template <typename T>
+using MsgList = util::SmallVector<T, 12>;
+
+using PageList = MsgList<db::PageId>;
+using VersionList = MsgList<std::uint64_t>;
+
 /// A protocol message. Control information is assumed to fit one packet;
 /// each page image carried in `data_pages` adds one packet
 /// (PageSize == PacketSize in all paper configurations).
@@ -71,38 +80,38 @@ struct Message {
 
   /// Subject pages without data (lock/validate lists, stale lists, ack
   /// version lists).
-  std::vector<db::PageId> pages;
+  PageList pages;
   /// Versions parallel to `pages` (cached versions on requests; new
   /// versions on replies).
-  std::vector<std::uint64_t> versions;
+  VersionList versions;
   /// Pages whose full images travel with the message (fetch replies, dirty
   /// flushes, propagations).
-  std::vector<db::PageId> data_pages;
+  PageList data_pages;
   /// Versions parallel to `data_pages`.
-  std::vector<std::uint64_t> data_versions;
+  VersionList data_versions;
 
   // kReadRequest extras: pages to fetch (uncached) vs pages to check
   // (cached; listed in `pages` with `versions`).
-  std::vector<db::PageId> fetch_pages;
+  PageList fetch_pages;
 
   // kCommitRequest extras (certification): the full read set and the
   // versions the transaction read.
-  std::vector<db::PageId> read_set;
-  std::vector<std::uint64_t> read_versions;
+  PageList read_set;
+  VersionList read_versions;
 
   // kCommitRequest extras (recovery mode): every page the attempt updated,
   // whether its image travels here or was shipped earlier in a kDirtyEvict.
   // The server refuses to commit unless it holds all of them — a lost dirty
   // eviction then costs an abort instead of a lost update.
-  std::vector<db::PageId> updated_set;
+  PageList updated_set;
 
   // kCommitReply extras (callback locking): pages whose locks the server
   // released instead of retaining (another transaction was waiting).
-  std::vector<db::PageId> released_pages;
+  PageList released_pages;
 
   // Piggybacked eviction notices (callback locking): clean pages with
   // retained locks that left the client cache since the last message.
-  std::vector<db::PageId> evicted_pages;
+  PageList evicted_pages;
 };
 
 /// Number of network packets a message occupies.

@@ -5,7 +5,7 @@
 
 #include <cstdlib>
 
-#include "check/oracle.h"
+#include "check/checker.h"
 #include "util/macros.h"
 
 namespace ccsim::proto {
@@ -42,11 +42,12 @@ sim::Task<bool> CallbackClient::ReadObject(const workload::Step& step) {
       } else {
         // The whole point of callback locking: a retained lock guarantees
         // validity, so the read needs no server contact at all.
-        if (check::Oracle* oracle = c_.metrics().oracle()) {
-          oracle->OnTrustedLocalRead(c_.id(), page, entry->version,
-                                     /*retained_lock=*/true,
-                                     entry->lease_until, c_.simulator().Now(),
-                                     /*fault_free=*/!c_.resilient());
+        if (check::Checker* checker = c_.metrics().checker()) {
+          checker->OnTrustedLocalRead(c_.id(), page, entry->version,
+                                      /*retained_lock=*/true,
+                                      entry->lease_until,
+                                      c_.simulator().Now(),
+                                      /*fault_free=*/!c_.resilient());
         }
         entry->lock = (retain_write_locks_ && entry->retained_x)
                           ? client::PageLock::kExclusive
@@ -234,8 +235,8 @@ sim::Task<void> CallbackClient::OnAttemptEnd(bool committed) {
 }
 
 sim::Task<void> CallbackClient::HandleEvictions(
-    std::vector<client::ClientCache::Evicted> victims) {
-  std::vector<client::ClientCache::Evicted> rest;
+    client::ClientCache::EvictedList& victims) {
+  client::ClientCache::EvictedList rest;
   for (client::ClientCache::Evicted& victim : victims) {
     if (!victim.info.dirty && victim.info.retained &&
         !explicit_evict_notices_) {
@@ -248,13 +249,13 @@ sim::Task<void> CallbackClient::HandleEvictions(
     rest.push_back(victim);
   }
   if (!rest.empty()) {
-    co_await ClientProtocol::HandleEvictions(std::move(rest));
+    co_await ClientProtocol::HandleEvictions(rest);
   }
 }
 
-sim::Task<void> CallbackClient::HandleAsync(net::Message msg) {
+sim::Task<void> CallbackClient::HandleAsync(net::Message& msg) {
   if (msg.type != net::MsgType::kCallbackRequest) {
-    co_await ClientProtocol::HandleAsync(std::move(msg));
+    co_await ClientProtocol::HandleAsync(msg);
     co_return;
   }
   net::Message release;
@@ -353,7 +354,8 @@ sim::Process CallbackServer::RequestCallbacks(int requester_client,
         }
         if (outstanding_callbacks_.count({page, client}) != 0) {
           s_.metrics().RecordLeaseExpiry();
-          HandleRetainedRelease(client, {page}, /*drop_directory=*/true);
+          const db::PageId one[] = {page};
+          HandleRetainedRelease(client, one, /*drop_directory=*/true);
         }
       });
     }
@@ -362,7 +364,7 @@ sim::Process CallbackServer::RequestCallbacks(int requester_client,
 }
 
 void CallbackServer::HandleRetainedRelease(
-    int client, const std::vector<db::PageId>& pages, bool drop_directory) {
+    int client, std::span<const db::PageId> pages, bool drop_directory) {
   for (db::PageId page : pages) {
     if (std::getenv("CCSIM_TRACE")) {
       std::fprintf(stderr, "[cb] RELEASE page=%d client=%d\n", page, client);
@@ -409,7 +411,7 @@ sim::Process CallbackServer::Handle(net::Message msg) {
 sim::Task<void> CallbackServer::HandleRead(net::Message msg) {
   server::XactState* state = s_.FindXact(msg.xact);
   CCSIM_CHECK(state != nullptr);
-  std::vector<db::PageId> all_pages = msg.pages;
+  std::vector<db::PageId> all_pages(msg.pages.begin(), msg.pages.end());
   all_pages.insert(all_pages.end(), msg.fetch_pages.begin(),
                    msg.fetch_pages.end());
   for (db::PageId page : all_pages) {
@@ -435,7 +437,8 @@ sim::Task<void> CallbackServer::HandleRead(net::Message msg) {
   }
   net::Message reply;
   reply.type = net::MsgType::kReadReply;
-  std::vector<db::PageId> to_read = msg.fetch_pages;
+  std::vector<db::PageId> to_read(msg.fetch_pages.begin(),
+                                  msg.fetch_pages.end());
   for (std::size_t i = 0; i < msg.pages.size(); ++i) {
     const db::PageId page = msg.pages[i];
     if (s_.versions().Get(page) == msg.versions[i]) {

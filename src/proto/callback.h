@@ -29,9 +29,9 @@ class CallbackClient : public ClientProtocol {
         explicit_evict_notices_(explicit_evict_notices) {}
 
   sim::Task<void> OnAttemptEnd(bool committed) override;
-  sim::Task<void> HandleAsync(net::Message msg) override;
+  sim::Task<void> HandleAsync(net::Message& msg) override;
   sim::Task<void> HandleEvictions(
-      std::vector<client::ClientCache::Evicted> victims) override;
+      client::ClientCache::EvictedList& victims) override;
 
  protected:
   sim::Task<bool> ReadObject(const workload::Step& step) override;
@@ -73,7 +73,7 @@ class CallbackServer : public ServerProtocol {
   sim::Task<void> HandleUpgrade(net::Message msg);
   sim::Task<void> HandleCommit(net::Message msg);
   sim::Task<void> HandleDirtyEvict(net::Message msg);
-  void HandleRetainedRelease(int client, const std::vector<db::PageId>& pages,
+  void HandleRetainedRelease(int client, std::span<const db::PageId> pages,
                              bool drop_directory);
 
   /// If the requesting client's own retained owner holds the page, move the

@@ -160,7 +160,8 @@ sim::Task<void> CertificationServer::HandleRead(net::Message msg) {
   CCSIM_CHECK(state != nullptr);
   net::Message reply;
   reply.type = net::MsgType::kReadReply;
-  std::vector<db::PageId> to_read = msg.fetch_pages;
+  std::vector<db::PageId> to_read(msg.fetch_pages.begin(),
+                                  msg.fetch_pages.end());
   for (std::size_t i = 0; i < msg.pages.size(); ++i) {
     const db::PageId page = msg.pages[i];
     if (s_.versions().Get(page) == msg.versions[i]) {
@@ -214,7 +215,8 @@ sim::Task<void> CertificationServer::HandleCommit(net::Message msg) {
   for (std::size_t i = 0; i < msg.read_set.size(); ++i) {
     state->read_versions[msg.read_set[i]] = msg.read_versions[i];
   }
-  std::vector<db::PageId> updates = msg.data_pages;
+  std::vector<db::PageId> updates(msg.data_pages.begin(),
+                                  msg.data_pages.end());
   for (db::PageId page : state->deferred) {
     if (std::find(updates.begin(), updates.end(), page) == updates.end()) {
       updates.push_back(page);

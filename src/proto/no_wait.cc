@@ -3,7 +3,7 @@
 #include <unordered_map>
 #include <utility>
 
-#include "check/oracle.h"
+#include "check/checker.h"
 #include "util/macros.h"
 
 namespace ccsim::proto {
@@ -34,13 +34,13 @@ sim::Task<bool> NoWaitClient::ReadObject(const workload::Step& step) {
     c_.cache().RecordHit();
     c_.cache().Pin(page);
     if (!entry->requested_this_xact) {
-      if (check::Oracle* oracle = c_.metrics().oracle()) {
+      if (check::Checker* checker = c_.metrics().checker()) {
         // An optimistic use, not a validity guarantee (the async lock may
         // come back stale) — the oracle only audits the lease discipline.
-        oracle->OnTrustedLocalRead(c_.id(), page, entry->version,
-                                   /*retained_lock=*/false,
-                                   entry->lease_until, c_.simulator().Now(),
-                                   /*fault_free=*/!c_.resilient());
+        checker->OnTrustedLocalRead(c_.id(), page, entry->version,
+                                    /*retained_lock=*/false,
+                                    entry->lease_until, c_.simulator().Now(),
+                                    /*fault_free=*/!c_.resilient());
       }
       // Optimistically use the cached copy; ask the server to lock and
       // validate it in the background.

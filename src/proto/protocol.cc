@@ -46,7 +46,7 @@ sim::Task<void> ClientProtocol::OnAttemptEnd(bool committed) {
   co_return;
 }
 
-sim::Task<void> ClientProtocol::HandleAsync(net::Message msg) {
+sim::Task<void> ClientProtocol::HandleAsync(net::Message& msg) {
   switch (msg.type) {
     case net::MsgType::kAbortNotice: {
       c_.NoteAbort(msg.xact, msg.pages);
@@ -102,7 +102,7 @@ sim::Task<void> ClientProtocol::HandleAsync(net::Message msg) {
 }
 
 sim::Task<void> ClientProtocol::HandleEvictions(
-    std::vector<client::ClientCache::Evicted> victims) {
+    client::ClientCache::EvictedList& victims) {
   for (const client::ClientCache::Evicted& victim : victims) {
     if (victim.info.dirty) {
       // Updated pages leave the cache mid-transaction: ship to the server

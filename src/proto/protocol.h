@@ -42,13 +42,16 @@ class ClientProtocol {
   /// Handles an asynchronous (non-reply) server message. The default
   /// understands kAbortNotice and kUpdatePropagation; algorithm-specific
   /// messages are handled in overrides.
-  virtual sim::Task<void> HandleAsync(net::Message msg);
+  /// Both handlers take lvalue references: every call site owns the
+  /// argument and co_awaits the handler to completion, so the reference
+  /// outlives the coroutine and the old by-value copies were pure waste.
+  virtual sim::Task<void> HandleAsync(net::Message& msg);
 
   /// Eviction side effects for pages pushed out of the client cache: dirty
   /// pages are shipped to the server; retained locks are surrendered with
   /// an eviction notice (callback locking).
   virtual sim::Task<void> HandleEvictions(
-      std::vector<client::ClientCache::Evicted> victims);
+      client::ClientCache::EvictedList& victims);
 
  protected:
   virtual sim::Task<bool> ReadObject(const workload::Step& step) = 0;

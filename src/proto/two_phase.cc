@@ -155,7 +155,7 @@ sim::Process TwoPhaseServer::Handle(net::Message msg) {
 sim::Task<void> TwoPhaseServer::HandleRead(net::Message msg) {
   server::XactState* state = s_.FindXact(msg.xact);
   CCSIM_CHECK(state != nullptr);
-  std::vector<db::PageId> all_pages = msg.pages;
+  std::vector<db::PageId> all_pages(msg.pages.begin(), msg.pages.end());
   all_pages.insert(all_pages.end(), msg.fetch_pages.begin(),
                    msg.fetch_pages.end());
   for (db::PageId page : all_pages) {
@@ -176,7 +176,8 @@ sim::Task<void> TwoPhaseServer::HandleRead(net::Message msg) {
   reply.type = net::MsgType::kReadReply;
   // With the locks held, validate the cached versions; stale copies are
   // re-read and shipped fresh.
-  std::vector<db::PageId> to_read = msg.fetch_pages;
+  std::vector<db::PageId> to_read(msg.fetch_pages.begin(),
+                                  msg.fetch_pages.end());
   for (std::size_t i = 0; i < msg.pages.size(); ++i) {
     const db::PageId page = msg.pages[i];
     if (s_.versions().Get(page) == msg.versions[i]) {

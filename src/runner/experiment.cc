@@ -3,7 +3,7 @@
 #include <memory>
 #include <string>
 
-#include "check/oracle.h"
+#include "check/checker.h"
 #include "client/client.h"
 #include "lock/lock_manager.h"
 #include "db/database.h"
@@ -76,22 +76,30 @@ Result<RunResult> RunExperiment(const config::ExperimentConfig& config) {
     clients.push_back(std::move(c));
   }
 
-  // Consistency oracle: one per run (never shared, so parallel sweeps stay
-  // race-free), reached by every component through metrics.oracle(). It
-  // never touches the calendar or an RNG stream, so enabling it cannot
-  // perturb results, and leaving it off keeps every hook a null branch.
-  std::unique_ptr<check::Oracle> oracle;
+  // Consistency checker: one per run (never shared, so parallel sweeps
+  // stay race-free), reached by every component through
+  // metrics.checker(). It never touches the calendar or an RNG stream, so
+  // enabling it cannot perturb results, and leaving it off keeps every
+  // hook a null branch. In the (default) pipelined mode the commit path
+  // only enqueues compact records; a dedicated verification thread runs
+  // the serialization-graph maintenance and is joined (after a drain
+  // barrier) before any counter below is read.
+  std::unique_ptr<check::Checker> checker;
   if (config.checker.enabled) {
-    check::Oracle::Options options;
-    options.context =
+    check::Checker::Options options;
+    options.pipelined = config.checker.pipelined;
+    options.audit_epoch_commits = config.checker.audit_epoch_commits;
+    options.queue_capacity = config.checker.queue_capacity;
+    options.oracle.context =
         config::AlgorithmLabel(config.algorithm.algorithm,
                                config.algorithm.caching) +
         ", seed " + std::to_string(seed);
-    oracle = std::make_unique<check::Oracle>(&server.versions(), options);
+    checker =
+        std::make_unique<check::Checker>(&server.versions(), options);
     server::Server* srv = &server;
     auto* client_list = &clients;
     const bool fault_free = !config.fault.recovery_enabled;
-    oracle->set_audit_hook([srv, client_list, fault_free] {
+    checker->set_audit_hook([srv, client_list, fault_free] {
       srv->directory().AuditStructure();
       if (fault_free) {
         // Uncommitted buffer frames must belong to live transactions.
@@ -125,7 +133,7 @@ Result<RunResult> RunExperiment(const config::ExperimentConfig& config) {
         srv->pool().AuditConsistency(nullptr);
       }
     });
-    metrics.set_oracle(oracle.get());
+    metrics.set_checker(checker.get());
   }
 
   // Fault injection: attach an injector only when the config asks for
@@ -316,19 +324,25 @@ Result<RunResult> RunExperiment(const config::ExperimentConfig& config) {
       }
     }
   }
-  if (oracle != nullptr) {
-    oracle->Finalize(metrics.unknown_outcomes());
+  if (checker != nullptr) {
+    // Drain barrier + verifier join: every queued record is applied (and
+    // any violation surfaced) before Finalize reconciles or a counter is
+    // read, which is what makes the pipelined counters byte-identical to
+    // the synchronous mode's.
+    checker->Finish();
+    check::Oracle& oracle = checker->oracle();
+    oracle.Finalize(metrics.unknown_outcomes());
     result.oracle_enabled = true;
-    result.oracle_commits = oracle->commits_observed();
-    result.oracle_edges = oracle->edges();
-    result.oracle_scc_checks = oracle->scc_checks();
-    result.oracle_max_frontier = oracle->max_frontier();
-    result.oracle_audits = oracle->audits();
-    result.oracle_client_audits = oracle->client_audits();
-    result.oracle_trusted_reads = oracle->trusted_reads();
-    result.oracle_stale_commit_reads = oracle->stale_commit_reads();
-    result.oracle_unknown_committed = oracle->unknown_resolved_committed();
-    result.oracle_unknown_aborted = oracle->unknown_resolved_aborted();
+    result.oracle_commits = oracle.commits_observed();
+    result.oracle_edges = oracle.edges();
+    result.oracle_scc_checks = oracle.scc_checks();
+    result.oracle_max_frontier = oracle.max_frontier();
+    result.oracle_audits = checker->audits();
+    result.oracle_client_audits = checker->client_audits();
+    result.oracle_trusted_reads = oracle.trusted_reads();
+    result.oracle_stale_commit_reads = oracle.stale_commit_reads();
+    result.oracle_unknown_committed = oracle.unknown_resolved_committed();
+    result.oracle_unknown_aborted = oracle.unknown_resolved_aborted();
   }
 
   sim.Shutdown();

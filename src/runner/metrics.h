@@ -11,7 +11,7 @@
 #include "sim/time.h"
 
 namespace ccsim::check {
-class Oracle;
+class Checker;
 }  // namespace ccsim::check
 
 namespace ccsim::runner {
@@ -174,13 +174,13 @@ class Metrics {
   void set_record_history(bool on) { record_history_ = on; }
   bool record_history() const { return record_history_; }
 
-  /// The run's consistency oracle (checker.enabled runs only; null
-  /// otherwise). Metrics is the one object every component already holds,
-  /// so it doubles as the oracle's distribution point — client, server,
-  /// and protocol code reach it via `metrics().oracle()` and treat null as
-  /// "checking off".
-  void set_oracle(check::Oracle* oracle) { oracle_ = oracle; }
-  check::Oracle* oracle() const { return oracle_; }
+  /// The run's consistency checker front-end (checker.enabled runs only;
+  /// null otherwise). Metrics is the one object every component already
+  /// holds, so it doubles as the checker's distribution point — client,
+  /// server, and protocol code reach it via `metrics().checker()` and
+  /// treat null as "checking off".
+  void set_checker(check::Checker* checker) { checker_ = checker; }
+  check::Checker* checker() const { return checker_; }
   void AddHistory(CommitRecord record) {
     history_.push_back(std::move(record));
   }
@@ -216,7 +216,7 @@ class Metrics {
   sim::Ticks window_start_ = 0;
   bool record_history_ = false;
   std::vector<CommitRecord> history_;
-  check::Oracle* oracle_ = nullptr;
+  check::Checker* checker_ = nullptr;
 };
 
 }  // namespace ccsim::runner

@@ -4,7 +4,7 @@
 #include <string>
 #include <utility>
 
-#include "check/oracle.h"
+#include "check/checker.h"
 #include "proto/protocol.h"
 #include "util/macros.h"
 
@@ -336,7 +336,7 @@ void Server::PumpReady() {
 }
 
 sim::Task<void> Server::ReadPagesToClient(XactState& state,
-                                          std::vector<db::PageId> pages,
+                                          net::PageList pages,
                                           net::Message* reply,
                                           bool record_reads) {
   for (std::size_t i = 0; i < pages.size(); ++i) {
@@ -358,7 +358,7 @@ sim::Task<void> Server::ReadPagesToClient(XactState& state,
 }
 
 sim::Task<void> Server::InstallClientUpdates(
-    XactState& state, const std::vector<db::PageId>& pages,
+    XactState& state, std::span<const db::PageId> pages,
     std::uint64_t pool_owner, bool charge_cpu) {
   for (db::PageId page : pages) {
     if (charge_cpu && server_proc_page_ticks_ > 0) {
@@ -373,7 +373,7 @@ void Server::BumpVersionsAndRecord(XactState& state, net::Message* reply) {
   // This is the commit point: from here on, garbage collection must leave
   // the transaction alone even though done is not yet set.
   state.committing = true;
-  check::Oracle* oracle = metrics_->oracle();
+  check::Checker* checker = metrics_->checker();
   // Every version this transaction read must still be current at commit.
   // This holds for every correct algorithm in the study (locks are held /
   // validation just passed); a violation is a protocol implementation bug.
@@ -386,43 +386,50 @@ void Server::BumpVersionsAndRecord(XactState& state, net::Message* reply) {
     if (current == version) {
       continue;
     }
-    if (oracle != nullptr) {
-      oracle->NoteStaleCommitRead(state.client, state.uid, page, version,
-                                  current);
+    if (checker != nullptr) {
+      checker->NoteStaleCommitRead(state.client, state.uid, page, version,
+                                   current);
     } else {
       CCSIM_CHECK_MSG(false, "commit read-currency violated on page %d",
                       page);
     }
   }
-  runner::Metrics::CommitRecord record;
   const bool record_history = metrics_->record_history();
-  const bool observe = record_history || oracle != nullptr;
+  const bool observe = record_history || checker != nullptr;
   if (observe) {
-    record.client = state.client;
-    record.xact = state.uid;
-    record.reads.assign(state.read_versions.begin(),
-                        state.read_versions.end());
+    // Reusable scratch, not per-commit vectors: the checker copies the
+    // sets into its epoch arena (or applies them inline), so nothing here
+    // needs to outlive this call.
+    commit_reads_scratch_.clear();
+    commit_writes_scratch_.clear();
+    commit_reads_scratch_.assign(state.read_versions.begin(),
+                                 state.read_versions.end());
   }
   for (db::PageId page : state.updated) {
     const std::uint64_t new_version = versions_.Bump(page);
     reply->pages.push_back(page);
     reply->versions.push_back(new_version);
     if (observe) {
-      record.writes.emplace_back(page, new_version);
+      commit_writes_scratch_.emplace_back(page, new_version);
     }
   }
   if (observe) {
-    record.at = simulator_->Now();
-    if (oracle != nullptr) {
+    const std::int64_t at = simulator_->Now();
+    if (checker != nullptr) {
       // The version bumps above and this LSN stamping are one atomic step
       // (no awaits), so per-page LSNs are monotone iff commits install
       // versions in chain order.
-      log_->AppendCommitRecord(record.writes);
-      oracle->OnCommit(record.client, record.xact, record.at, record.reads,
-                       record.writes);
-      oracle->AuditAtCommit();
+      log_->AppendCommitRecord(commit_writes_scratch_);
+      checker->OnCommit(state.client, state.uid, at, commit_reads_scratch_,
+                        commit_writes_scratch_);
     }
     if (record_history) {
+      runner::Metrics::CommitRecord record;
+      record.client = state.client;
+      record.xact = state.uid;
+      record.at = at;
+      record.reads = commit_reads_scratch_;
+      record.writes = commit_writes_scratch_;
       metrics_->AddHistory(std::move(record));
     }
   }
@@ -444,8 +451,8 @@ sim::Task<void> Server::FinalizeCommit(XactState& state,
 sim::Task<void> Server::AbortPipeline(XactState& state) {
   CCSIM_CHECK(!state.done);
   state.aborted = true;
-  if (check::Oracle* oracle = metrics_->oracle()) {
-    oracle->OnAbortObserved(state.uid);
+  if (check::Checker* checker = metrics_->checker()) {
+    checker->OnAbortObserved(state.uid);
   }
   locks_.CancelOwner(state.uid);
   const std::vector<db::PageId> flushed = pool_->AbortTransaction(state.uid);
@@ -571,8 +578,8 @@ void Server::Crash() {
     }
     if (!state->done && !state->committing) {
       state->aborted = true;
-      if (check::Oracle* oracle = metrics_->oracle()) {
-        oracle->OnAbortObserved(uid);
+      if (check::Checker* checker = metrics_->checker()) {
+        checker->OnAbortObserved(uid);
       }
     }
     std::uint64_t& last = last_finished_[state->client];
@@ -596,9 +603,9 @@ sim::Task<void> Server::Recover() {
   redo_pages_at_crash_ = 0;
   down_ = false;
   metrics_->RecordRecovery(simulator_->Now() - crash_began_);
-  if (check::Oracle* oracle = metrics_->oracle()) {
-    oracle->AuditPostRecovery(active_.size(), locks_.held_count(),
-                              pool_->UncommittedFrameCount());
+  if (check::Checker* checker = metrics_->checker()) {
+    checker->AuditPostRecovery(active_.size(), locks_.held_count(),
+                               pool_->UncommittedFrameCount());
   }
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -116,8 +117,7 @@ class Server {
   /// state.read_versions for the commit-time serializability oracle
   /// (lock-based protocols; certification supplies its read set at commit
   /// instead).
-  sim::Task<void> ReadPagesToClient(XactState& state,
-                                    std::vector<db::PageId> pages,
+  sim::Task<void> ReadPagesToClient(XactState& state, net::PageList pages,
                                     net::Message* reply, bool record_reads);
 
   /// Applies client page images: ServerProcPage per page (when `charge_cpu`)
@@ -125,7 +125,7 @@ class Server {
   /// protocols; BufferPool::kCommitted when applying already-committed
   /// deferred updates); tracks the pages in state.updated.
   sim::Task<void> InstallClientUpdates(XactState& state,
-                                       const std::vector<db::PageId>& pages,
+                                       std::span<const db::PageId> pages,
                                        std::uint64_t pool_owner,
                                        bool charge_cpu);
 
@@ -267,6 +267,11 @@ class Server {
   std::unordered_map<int, std::uint64_t> last_finished_;
   std::deque<net::Message> ready_;
   std::size_t ready_high_water_ = 0;
+
+  /// Reusable commit-point scratch for the checker / history feed (cleared
+  /// per commit; capacity persists so the steady state allocates nothing).
+  std::vector<std::pair<db::PageId, std::uint64_t>> commit_reads_scratch_;
+  std::vector<std::pair<db::PageId, std::uint64_t>> commit_writes_scratch_;
 
   // --- recovery-mode state (inert when resilient_ is false) ---
   bool resilient_ = false;

@@ -1,0 +1,69 @@
+#ifndef CCSIM_UTIL_ARENA_H_
+#define CCSIM_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+#include "util/macros.h"
+
+namespace ccsim::util {
+
+/// Fixed-capacity bump allocator: one malloc'd block, pointer-bump
+/// allocation, wholesale Reset(). Built for the checker pipeline's
+/// per-epoch commit records — the producer fills an arena with
+/// variable-length page/version arrays, the consumer drains them, and the
+/// whole epoch is reclaimed with a single pointer reset. Only trivially
+/// destructible element types are allowed (Reset never runs destructors).
+class Arena {
+ public:
+  explicit Arena(std::size_t capacity_bytes)
+      : block_(new std::byte[capacity_bytes]),
+        capacity_(capacity_bytes),
+        used_(0) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocates an uninitialized array of `count` T. Fatal when the
+  /// request does not fit: callers size the arena for their largest
+  /// possible batch (checker epochs are bounded by the queue capacity).
+  template <typename T>
+  T* AllocateArray(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    const std::size_t offset = Align(used_, alignof(T));
+    const std::size_t bytes = count * sizeof(T);
+    CCSIM_CHECK_MSG(offset + bytes <= capacity_,
+                    "arena overflow: %zu + %zu > %zu", offset, bytes,
+                    capacity_);
+    used_ = offset + bytes;
+    return reinterpret_cast<T*>(block_.get() + offset);
+  }
+
+  /// True if an array of `count` T fits without overflowing.
+  template <typename T>
+  bool Fits(std::size_t count) const {
+    return Align(used_, alignof(T)) + count * sizeof(T) <= capacity_;
+  }
+
+  /// Reclaims everything allocated so far. No destructors run.
+  void Reset() { used_ = 0; }
+
+  std::size_t used() const { return used_; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  static std::size_t Align(std::size_t offset, std::size_t alignment) {
+    return (offset + alignment - 1) & ~(alignment - 1);
+  }
+
+  std::unique_ptr<std::byte[]> block_;
+  std::size_t capacity_;
+  std::size_t used_;
+};
+
+}  // namespace ccsim::util
+
+#endif  // CCSIM_UTIL_ARENA_H_

@@ -131,7 +131,7 @@ Oracle::Options NonFatalOptions() {
 }
 
 TEST(OracleDirectFeedTest, SerialHistoryIsClean) {
-  Oracle oracle(nullptr, NonFatalOptions());
+  Oracle oracle(NonFatalOptions());
   oracle.OnCommit(0, 101, 10, {{1, 1}}, {{1, 2}});
   oracle.OnCommit(1, 102, 20, {{1, 2}}, {{1, 3}});
   oracle.OnCommit(0, 103, 30, {{1, 3}}, {});
@@ -144,7 +144,7 @@ TEST(OracleDirectFeedTest, WriteSkewProducesCycleDump) {
   // Classic write skew: both transactions read pages 1 and 2 at the initial
   // version, then each writes one of them. No WR or WW conflict — only the
   // two anti-dependency edges, which form a 2-cycle.
-  Oracle oracle(nullptr, NonFatalOptions());
+  Oracle oracle(NonFatalOptions());
   oracle.OnCommit(0, 101, 10, {{1, 1}, {2, 1}}, {{1, 2}});
   oracle.NoteStaleCommitRead(1, 102, 1, 1, 2);
   oracle.OnCommit(1, 102, 20, {{1, 1}, {2, 1}}, {{2, 2}});
@@ -160,7 +160,7 @@ TEST(OracleDirectFeedTest, WriteSkewProducesCycleDump) {
 }
 
 TEST(OracleDirectFeedTest, UnknownOutcomesResolveToExactlyOneSide) {
-  Oracle oracle(nullptr, NonFatalOptions());
+  Oracle oracle(NonFatalOptions());
   oracle.OnCommit(0, 5, 10, {{1, 1}}, {{1, 2}});
   oracle.OnUnknownOutcome(5);  // committed server-side, reply lost
   oracle.OnUnknownOutcome(6);  // aborted server-side
@@ -172,13 +172,14 @@ TEST(OracleDirectFeedTest, UnknownOutcomesResolveToExactlyOneSide) {
 }
 
 TEST(OracleDirectFeedTest, ExpiredLeaseTrustIsFatal) {
-  Oracle oracle(nullptr, NonFatalOptions());
+  Oracle oracle(NonFatalOptions());
   // Structural invariants stay fatal even in non-fatal graph mode: trusting
   // a leased copy past its expiry is a protocol bug, not a history property.
   EXPECT_DEATH(oracle.OnTrustedLocalRead(/*client=*/3, /*page=*/7,
                                          /*version=*/2, /*retained_lock=*/false,
                                          /*lease_until=*/100, /*now=*/101,
-                                         /*fault_free=*/false),
+                                         /*fault_free=*/false,
+                                         /*current_version=*/0),
                "past its lease");
 }
 

@@ -9,18 +9,25 @@
 #   4. the determinism tests (byte-identical replay, serial-vs-parallel
 #      sweeps) as an explicit final gate,
 #   5. a bounded chaos soak (fixed seeds, 3 compound-fault cocktails across
-#      all five protocols with the oracle on) under the same sanitizer.
+#      all five protocols) under the same sanitizer, always with --check so
+#      the pipelined verifier rides every soak run,
+#   6. a checker-overhead budget gate: the tracked BENCH_kernel.json must
+#      record on_overhead_pct <= CCSIM_CI_CHECKER_BUDGET (default 12) — the
+#      price of the always-on verifier is a CI-enforced contract, not a
+#      hope.
 #
 # Usage: tools/ci.sh [build-dir]   (default: build-ci)
 # Environment:
 #   CCSIM_CI_SANITIZE   sanitizer for the build: asan (default), tsan, OFF
 #   CCSIM_CI_JOBS       parallelism (default: nproc)
+#   CCSIM_CI_CHECKER_BUDGET  max allowed checker-on overhead percent (12)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build-ci}"
 sanitize="${CCSIM_CI_SANITIZE:-asan}"
 jobs="${CCSIM_CI_JOBS:-$(nproc)}"
+checker_budget="${CCSIM_CI_CHECKER_BUDGET:-12}"
 
 step() { echo; echo "=== $* ==="; }
 
@@ -44,7 +51,26 @@ ctest -L oracle --output-on-failure -j"$jobs"
 step "determinism gate"
 ctest -R "Determinism" --output-on-failure -j"$jobs"
 
-step "bounded chaos soak (3 fixed seeds x 5 protocols)"
-"$build_dir"/tools/ccsim_run --chaos-soak=3 --seed=1 --jobs="$jobs"
+step "bounded chaos soak (3 fixed seeds x 5 protocols, oracle on)"
+"$build_dir"/tools/ccsim_run --chaos-soak=3 --seed=1 --jobs="$jobs" --check
+
+step "checker-overhead budget (<= ${checker_budget}%)"
+python3 - "$repo_root/BENCH_kernel.json" "$checker_budget" <<'PYEOF'
+import json, sys
+try:
+    baseline = json.load(open(sys.argv[1]))
+except OSError:
+    sys.exit(f"FAIL: {sys.argv[1]} missing - run tools/bench_baseline.sh")
+budget = float(sys.argv[2])
+guard = baseline.get("checker_guard", {})
+overhead = guard.get("on_overhead_pct")
+if overhead is None:
+    sys.exit("FAIL: checker_guard.on_overhead_pct missing from baseline - "
+             "regenerate with tools/bench_baseline.sh")
+print(f"checker-on overhead: {overhead}% (budget {budget}%)")
+if overhead > budget:
+    sys.exit(f"FAIL: checker-on overhead {overhead}% exceeds the "
+             f"{budget}% budget")
+PYEOF
 
 step "ci passed"
