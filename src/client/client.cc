@@ -348,6 +348,7 @@ sim::Process Client::Driver() {
     int attempts = 0;
     while (true) {
       ++attempts;
+      metrics_->RecordAttemptStart();
       if (crash_dirty_) {
         co_await FinishCrashRecovery();
       }

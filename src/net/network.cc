@@ -8,6 +8,12 @@ namespace ccsim::net {
 
 sim::Task<void> Network::Send(Message msg) {
   const int packets = PacketsFor(msg);
+  if (transport_ != nullptr) {
+    ++messages_sent_;
+    packets_sent_ += static_cast<std::uint64_t>(packets);
+    transport_->Deliver(msg);
+    co_return;
+  }
   auto src_it = endpoints_.find(msg.src);
   CCSIM_CHECK_MSG(src_it != endpoints_.end(), "unregistered sender %d",
                   msg.src);

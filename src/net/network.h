@@ -14,6 +14,19 @@
 
 namespace ccsim::net {
 
+/// Pluggable message carrier for the real substrate. When installed on a
+/// Network, Send() hands every message to the transport instead of the
+/// simulated medium: framing, loss, and latency become the carrier's
+/// problem (TCP over loopback/LAN in practice). Delivery back into a node
+/// goes through its substrate's injection queue, never through this class.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  /// Ships `msg` toward msg.dst. Called on the owning node's event-loop
+  /// thread only; implementations may write to sockets directly.
+  virtual void Deliver(const Message& msg) = 0;
+};
+
 /// The network manager (paper §3.3.1). Messages are split into packets;
 /// each packet
 ///  - charges MsgCost instructions on the sending CPU (the sender's
@@ -44,6 +57,13 @@ class Network {
     const bool inserted = endpoints_.emplace(node, endpoint).second;
     CCSIM_CHECK_MSG(inserted, "endpoint %d registered twice", node);
   }
+
+  /// Attaches a real transport (nullptr = simulated medium, the default).
+  /// With a transport installed, Send() bypasses the medium, the CPU
+  /// charges, and the fault injector entirely: the wire is real, so its
+  /// costs and failures are real too.
+  void set_transport(Transport* transport) { transport_ = transport; }
+  Transport* transport() { return transport_; }
 
   /// Attaches a fault injector (nullptr = perfect network, the default).
   /// The hook costs nothing when unset: Send/TransferAndDeliver touch the
@@ -76,6 +96,7 @@ class Network {
   sim::Ticks mean_packet_delay_;
   sim::Pcg32 rng_;
   sim::Resource medium_;
+  Transport* transport_ = nullptr;
   fault::FaultInjector* injector_ = nullptr;
   std::unordered_map<int, Endpoint> endpoints_;
   std::uint64_t messages_sent_ = 0;

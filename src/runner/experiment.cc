@@ -1,5 +1,6 @@
 #include "runner/experiment.h"
 
+#include <chrono>
 #include <memory>
 #include <string>
 
@@ -206,6 +207,7 @@ Result<RunResult> RunExperiment(const config::ExperimentConfig& config) {
   }
 
   // Warmup: run, then restart every statistics window.
+  const auto wall_begin = std::chrono::steady_clock::now();
   sim.Run(sim::SecondsToTicks(config.control.warmup_seconds));
   const sim::Ticks window_start = sim.Now();
   metrics.ResetWindow(window_start);
@@ -231,10 +233,20 @@ Result<RunResult> RunExperiment(const config::ExperimentConfig& config) {
   sim.Run(horizon);
   const sim::Ticks now = sim.Now();
   const bool stalled = !sim.stop_requested() && now < horizon;
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_begin)
+          .count();
 
   RunResult result;
   result.stalled = stalled;
   result.measured_seconds = sim::TicksToSeconds(now - window_start);
+  result.wall_seconds = wall_seconds;
+  result.events_processed = sim.events_processed();
+  result.events_per_second =
+      wall_seconds > 0
+          ? static_cast<double>(sim.events_processed()) / wall_seconds
+          : 0.0;
   result.commits = metrics.commits();
   result.aborts = metrics.aborts();
   result.deadlock_aborts = metrics.deadlock_aborts();
@@ -243,6 +255,10 @@ Result<RunResult> RunExperiment(const config::ExperimentConfig& config) {
   result.deadlocks_detected = server.locks().deadlocks_detected();
   result.mean_response_s = metrics.response_s().mean();
   result.response_ci_s = metrics.response_batches().HalfWidth90();
+  result.response_p50_s = metrics.response_histogram().Quantile(0.50);
+  result.response_p90_s = metrics.response_histogram().Quantile(0.90);
+  result.response_p99_s = metrics.response_histogram().Quantile(0.99);
+  result.attempts_started = metrics.attempts_started();
   result.throughput_tps =
       result.measured_seconds > 0
           ? static_cast<double>(result.commits) / result.measured_seconds

@@ -15,6 +15,15 @@ namespace ccsim::runner {
 /// reports (seconds; committed transactions per second).
 struct RunResult {
   double measured_seconds = 0.0;
+  /// Wall-clock time the run actually took (warmup + measurement). On the
+  /// DES substrate this is how fast the simulator chewed through the
+  /// calendar; on the real substrate it tracks measured_seconds by
+  /// construction. Never part of the deterministic output surface.
+  double wall_seconds = 0.0;
+  /// Calendar events processed across the whole run, and the wall-clock
+  /// event rate derived from it (0 when wall_seconds is unmeasured).
+  std::uint64_t events_processed = 0;
+  double events_per_second = 0.0;
   std::uint64_t commits = 0;
   std::uint64_t aborts = 0;
   std::uint64_t deadlock_aborts = 0;
@@ -25,8 +34,17 @@ struct RunResult {
   double mean_response_s = 0.0;
   /// ~90% confidence half-width on the mean response time (batch means).
   double response_ci_s = 0.0;
+  /// Response-time percentiles from the log-scaled histogram (~12%
+  /// bucket resolution).
+  double response_p50_s = 0.0;
+  double response_p90_s = 0.0;
+  double response_p99_s = 0.0;
   double throughput_tps = 0.0;
   double mean_attempts_per_commit = 0.0;
+  /// Transaction attempts started in the measurement window. Conservation:
+  /// |attempts_started - (commits + aborts)| is bounded by the attempts in
+  /// flight at the window edges, at most the client count on each side.
+  std::uint64_t attempts_started = 0;
 
   double server_cpu_util = 0.0;
   double client_cpu_util = 0.0;  // averaged over clients

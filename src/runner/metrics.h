@@ -1,6 +1,8 @@
 #ifndef CCSIM_RUNNER_METRICS_H_
 #define CCSIM_RUNNER_METRICS_H_
 
+#include <array>
+#include <cmath>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -30,6 +32,69 @@ enum class AbortKind {
   kCrash,
 };
 
+/// Fixed-size log-scaled response-time histogram: 20 buckets per decade
+/// (~12% resolution) spanning 1 µs .. 1000 s. Cheap enough to feed on
+/// every commit, and mergeable, so a multi-shard load generator can
+/// aggregate per-shard histograms into run-wide percentiles.
+class LatencyHistogram {
+ public:
+  static constexpr int kBucketsPerDecade = 20;
+  static constexpr int kDecades = 9;  // 1e-6 s .. 1e3 s
+  static constexpr int kBuckets = kBucketsPerDecade * kDecades;
+
+  void Add(double seconds) {
+    ++counts_[BucketFor(seconds)];
+    ++total_;
+  }
+
+  void Merge(const LatencyHistogram& other) {
+    for (int i = 0; i < kBuckets; ++i) {
+      counts_[static_cast<std::size_t>(i)] +=
+          other.counts_[static_cast<std::size_t>(i)];
+    }
+    total_ += other.total_;
+  }
+
+  void Reset() {
+    counts_.fill(0);
+    total_ = 0;
+  }
+
+  std::uint64_t count() const { return total_; }
+
+  /// Value at quantile `q` in [0, 1] (bucket midpoint in log space; 0 when
+  /// empty).
+  double Quantile(double q) const {
+    if (total_ == 0) {
+      return 0.0;
+    }
+    const std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(total_ - 1));
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += counts_[static_cast<std::size_t>(i)];
+      if (seen > rank) {
+        return 1e-6 * std::pow(10.0, (static_cast<double>(i) + 0.5) /
+                                         kBucketsPerDecade);
+      }
+    }
+    return 1e3;
+  }
+
+ private:
+  static int BucketFor(double seconds) {
+    if (seconds <= 1e-6) {
+      return 0;
+    }
+    const int bucket = static_cast<int>(
+        std::log10(seconds * 1e6) * kBucketsPerDecade);
+    return bucket >= kBuckets ? kBuckets - 1 : bucket;
+  }
+
+  std::array<std::uint64_t, static_cast<std::size_t>(kBuckets)> counts_{};
+  std::uint64_t total_ = 0;
+};
+
 /// Run-wide measurement collector. Transaction response times and counters
 /// accumulate in a measurement window that restarts at the end of warmup;
 /// a separate lifetime response-time mean (never reset) drives the
@@ -45,12 +110,22 @@ class Metrics {
     stop_after_commits_ = target;
   }
 
+  /// One transaction attempt began. Attempts conserve: every started
+  /// attempt ends in exactly one RecordCommit or RecordAbort, so over the
+  /// measurement window |started - (commits + aborts)| is bounded by the
+  /// attempts in flight at the window edges — at most the client count on
+  /// each side. This is the substrate-parity invariant checked across sim
+  /// and real runs.
+  void RecordAttemptStart() { ++attempts_started_; }
+  std::uint64_t attempts_started() const { return attempts_started_; }
+
   void RecordCommit(sim::Ticks response, int attempts,
                     std::size_t type_index = 0) {
     const double seconds = sim::TicksToSeconds(response);
     lifetime_response_s_.Add(seconds);
     response_s_.Add(seconds);
     response_batches_.Add(seconds);
+    response_hist_.Add(seconds);
     if (type_index >= per_type_response_s_.size()) {
       per_type_response_s_.resize(type_index + 1);
     }
@@ -139,10 +214,12 @@ class Metrics {
   void ResetWindow(sim::Ticks now) {
     response_s_.Reset();
     response_batches_.Reset();
+    response_hist_.Reset();
     per_type_response_s_.clear();
     attempts_per_commit_.Reset();
     commits_ = aborts_ = deadlock_aborts_ = stale_aborts_ = cert_aborts_ = 0;
     timeout_aborts_ = crash_aborts_ = 0;
+    attempts_started_ = 0;
     window_start_ = now;
   }
 
@@ -153,6 +230,7 @@ class Metrics {
     return per_type_response_s_;
   }
   const sim::BatchMeans& response_batches() const { return response_batches_; }
+  const LatencyHistogram& response_histogram() const { return response_hist_; }
   const sim::Tally& attempts_per_commit() const { return attempts_per_commit_; }
   std::uint64_t commits() const { return commits_; }
   std::uint64_t aborts() const { return aborts_; }
@@ -193,7 +271,9 @@ class Metrics {
   sim::Tally response_s_;
   std::vector<sim::Tally> per_type_response_s_;
   sim::BatchMeans response_batches_{/*batch_size=*/50};
+  LatencyHistogram response_hist_;
   sim::Tally attempts_per_commit_;
+  std::uint64_t attempts_started_ = 0;
   std::uint64_t commits_ = 0;
   std::uint64_t aborts_ = 0;
   std::uint64_t deadlock_aborts_ = 0;

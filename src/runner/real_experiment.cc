@@ -1,0 +1,249 @@
+#include "runner/real_experiment.h"
+
+#include <chrono>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "check/checker.h"
+#include "client/client.h"
+#include "runner/metrics.h"
+#include "server/server.h"
+#include "sim/time.h"
+#include "substrate/node.h"
+#include "substrate/tcp.h"
+#include "util/macros.h"
+
+namespace ccsim::runner {
+namespace {
+
+/// Effectively-infinite loop horizon for the server node (it stops via
+/// RealtimeSubstrate::Stop, not by running out of wall clock).
+constexpr sim::Ticks kForever = std::numeric_limits<sim::Ticks>::max() / 4;
+
+int DefaultShards(int num_clients) {
+  int shards = (num_clients + 7) / 8;
+  if (shards < 2) {
+    shards = 2;
+  }
+  if (shards > num_clients) {
+    shards = num_clients;
+  }
+  return shards;
+}
+
+}  // namespace
+
+Status ValidateRealConfig(const config::ExperimentConfig& config) {
+  if (config.fault.AnyFaults()) {
+    return Status::InvalidArgument(
+        "fault-plan injection (message drop/dup/delay, crash, partition, "
+        "storage faults) is simulated-substrate-only: the real transport "
+        "has no fault hooks yet — rerun with --substrate=sim or drop the "
+        "fault flags");
+  }
+  if (config.control.record_history) {
+    return Status::InvalidArgument(
+        "commit-history recording is simulated-substrate-only (the real "
+        "substrate's clients are sharded across threads/processes)");
+  }
+  return Status::OK();
+}
+
+Result<RunResult> RunRealExperiment(config::ExperimentConfig config,
+                                    const RealRunOptions& options) {
+  CCSIM_RETURN_NOT_OK(config.Validate());
+  CCSIM_RETURN_NOT_OK(ValidateRealConfig(config));
+  if (options.duration_seconds <= 0) {
+    return Status::InvalidArgument("real run duration must be positive");
+  }
+  if (options.raw_speed) {
+    config = substrate::RawSpeedConfig(config);
+  }
+  const std::uint64_t seed = config.control.seed;
+  const int num_clients = config.system.num_clients;
+  int shards = options.shards > 0 ? options.shards : DefaultShards(num_clients);
+  if (shards > num_clients) {
+    shards = num_clients;
+  }
+
+  // --- server node -------------------------------------------------------
+  substrate::ServerNode server_node(config, seed);
+  const substrate::Hello hello = substrate::MakeHello(config);
+  std::string error;
+  auto server_transport = substrate::TcpServerTransport::Listen(
+      options.port, hello, &server_node.substrate(), &error);
+  if (server_transport == nullptr) {
+    return Status::Internal("real substrate: " + error);
+  }
+  server_node.network().set_transport(server_transport.get());
+  server_node.Start();
+  std::uint64_t server_events = 0;
+  std::thread server_thread([&server_node, &server_events] {
+    server_events = server_node.RunLoop(kForever);
+  });
+  // From here on the server loop must be stopped before any return path.
+  auto stop_server = [&] {
+    server_node.substrate().Stop();
+    server_thread.join();
+    server_transport->Close();
+  };
+
+  // --- client shards -----------------------------------------------------
+  std::vector<std::unique_ptr<substrate::ClientShard>> shard_nodes;
+  std::vector<std::unique_ptr<substrate::TcpClientTransport>> transports;
+  for (int s = 0; s < shards; ++s) {
+    const int lo = num_clients * s / shards;
+    const int hi = num_clients * (s + 1) / shards;
+    auto shard =
+        std::make_unique<substrate::ClientShard>(config, seed, lo, hi);
+    substrate::Hello shard_hello = hello;
+    shard_hello.client_lo = lo;
+    shard_hello.client_hi = hi;
+    auto transport = substrate::TcpClientTransport::Connect(
+        "127.0.0.1", server_transport->port(), shard_hello,
+        &shard->substrate(), &error);
+    if (transport == nullptr) {
+      transports.clear();  // close established connections first
+      stop_server();
+      return Status::Internal("real substrate: " + error);
+    }
+    shard->network().set_transport(transport.get());
+    shard->Start();
+    shard_nodes.push_back(std::move(shard));
+    transports.push_back(std::move(transport));
+  }
+
+  // --- run ---------------------------------------------------------------
+  const sim::Ticks warmup = sim::SecondsToTicks(options.warmup_seconds);
+  const sim::Ticks duration = sim::SecondsToTicks(options.duration_seconds);
+  const auto wall_begin = std::chrono::steady_clock::now();
+  std::vector<std::uint64_t> shard_events(
+      static_cast<std::size_t>(shards), 0);
+  std::vector<std::thread> shard_threads;
+  shard_threads.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    substrate::ClientShard* shard = shard_nodes[static_cast<std::size_t>(s)]
+                                        .get();
+    std::uint64_t* events = &shard_events[static_cast<std::size_t>(s)];
+    shard_threads.emplace_back([shard, events, warmup, duration] {
+      *events = shard->RunLoop(warmup, duration);
+    });
+  }
+  for (std::thread& t : shard_threads) {
+    t.join();
+  }
+  // Tear down inbound delivery before stopping the loops: client readers
+  // first (no more replies into shard substrates), then the server.
+  for (auto& transport : transports) {
+    transport->Close();
+  }
+  stop_server();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_begin)
+          .count();
+  server_node.FinalizeChecker();
+
+  // --- harvest -----------------------------------------------------------
+  RunResult result;
+  result.measured_seconds = options.duration_seconds;
+  result.wall_seconds = wall_seconds;
+  result.events_processed = server_events;
+  LatencyHistogram histogram;
+  double response_weighted = 0.0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double attempts_weighted = 0.0;
+  std::vector<std::pair<double, std::uint64_t>> per_type;
+  for (int s = 0; s < shards; ++s) {
+    substrate::ClientShard& shard = *shard_nodes[static_cast<std::size_t>(s)];
+    const Metrics& m = shard.metrics();
+    result.events_processed += shard_events[static_cast<std::size_t>(s)];
+    result.commits += m.commits();
+    result.aborts += m.aborts();
+    result.deadlock_aborts += m.deadlock_aborts();
+    result.stale_aborts += m.stale_aborts();
+    result.cert_aborts += m.cert_aborts();
+    result.attempts_started += m.attempts_started();
+    result.transactions_lost += m.transactions_lost();
+    histogram.Merge(m.response_histogram());
+    response_weighted +=
+        m.response_s().mean() * static_cast<double>(m.response_s().count());
+    attempts_weighted += m.attempts_per_commit().mean() *
+                         static_cast<double>(m.attempts_per_commit().count());
+    const auto& types = m.per_type_response_s();
+    if (types.size() > per_type.size()) {
+      per_type.resize(types.size());
+    }
+    for (std::size_t i = 0; i < types.size(); ++i) {
+      per_type[i].first += types[i].mean() *
+                           static_cast<double>(types[i].count());
+      per_type[i].second += types[i].count();
+    }
+    for (const auto& c : shard.clients()) {
+      cache_hits += c->cache().hits();
+      cache_misses += c->cache().misses();
+    }
+    result.messages += shard.network().messages_sent();
+    result.packets += shard.network().packets_sent();
+  }
+  if (result.commits > 0) {
+    result.mean_response_s =
+        response_weighted / static_cast<double>(result.commits);
+    result.mean_attempts_per_commit =
+        attempts_weighted / static_cast<double>(result.commits);
+  }
+  for (auto& [weighted_mean, count] : per_type) {
+    result.per_type_response.emplace_back(
+        count > 0 ? weighted_mean / static_cast<double>(count) : 0.0, count);
+  }
+  result.response_p50_s = histogram.Quantile(0.50);
+  result.response_p90_s = histogram.Quantile(0.90);
+  result.response_p99_s = histogram.Quantile(0.99);
+  result.throughput_tps =
+      static_cast<double>(result.commits) / options.duration_seconds;
+  result.events_per_second =
+      wall_seconds > 0
+          ? static_cast<double>(result.events_processed) / wall_seconds
+          : 0.0;
+  result.client_hit_ratio =
+      (cache_hits + cache_misses) == 0
+          ? 0.0
+          : static_cast<double>(cache_hits) /
+                static_cast<double>(cache_hits + cache_misses);
+
+  server::Server& server = server_node.server();
+  result.deadlocks_detected = server.locks().deadlocks_detected();
+  result.server_buffer_hit_ratio = server.pool().HitRatio();
+  result.buffer_writebacks = server.pool().writebacks();
+  result.log_forced_commits = server.log().commits_logged();
+  result.undo_page_ios = server.log().undo_page_ios();
+  result.messages += server_node.network().messages_sent();
+  result.packets += server_node.network().packets_sent();
+  result.shed_requests = server_node.metrics().shed_requests();
+  result.ready_queue_high_water = server.ready_queue_high_water();
+  result.gc_xacts = server_node.metrics().gc_xacts();
+  result.final_lock_waiters = server.locks().waiter_count();
+  result.final_locks_held = server.locks().held_count();
+  result.final_active_xacts = server.active_transactions();
+  result.final_ready_queue = server.ready_queue_length();
+  if (server_node.checker() != nullptr) {
+    check::Oracle& oracle = server_node.checker()->oracle();
+    result.oracle_enabled = true;
+    result.oracle_commits = oracle.commits_observed();
+    result.oracle_edges = oracle.edges();
+    result.oracle_scc_checks = oracle.scc_checks();
+    result.oracle_max_frontier = oracle.max_frontier();
+    result.oracle_audits = server_node.checker()->audits();
+    result.oracle_client_audits = server_node.checker()->client_audits();
+    result.oracle_trusted_reads = oracle.trusted_reads();
+    result.oracle_stale_commit_reads = oracle.stale_commit_reads();
+  }
+  return result;
+}
+
+}  // namespace ccsim::runner

@@ -1,0 +1,45 @@
+#ifndef CCSIM_RUNNER_REAL_EXPERIMENT_H_
+#define CCSIM_RUNNER_REAL_EXPERIMENT_H_
+
+#include "config/params.h"
+#include "runner/experiment.h"
+#include "util/status.h"
+
+namespace ccsim::runner {
+
+/// Options for a real-substrate (threads + TCP loopback) run. Real runs
+/// are paced by the wall clock, so the measurement is duration-based:
+/// `control.target_commits` and `control.max_measure_seconds` do not
+/// apply; `control.warmup_seconds` is replaced by `warmup_seconds` here.
+struct RealRunOptions {
+  /// Wall seconds before the stats window resets.
+  double warmup_seconds = 1.0;
+  /// Wall seconds of measurement after warmup.
+  double duration_seconds = 5.0;
+  /// Load-generator shards (event-loop threads). 0 = one shard per 8
+  /// clients, at least 2 so cross-thread interleaving is exercised.
+  int shards = 0;
+  /// Server TCP port (0 = ephemeral loopback).
+  int port = 0;
+  /// Strip simulated hardware costs (substrate::RawSpeedConfig): real wire,
+  /// in-memory page store. False keeps the modeled CPU/disk charges as
+  /// wall-clock pacing (a real-time emulation of the paper's hardware).
+  bool raw_speed = true;
+};
+
+/// Rejects configurations that only make sense on the DES substrate
+/// (fault-plan message/crash/storage faults, commit-history recording)
+/// instead of silently ignoring them.
+Status ValidateRealConfig(const config::ExperimentConfig& config);
+
+/// Runs `config` on the real substrate, in-process: a ServerNode plus N
+/// ClientShards connected over TCP loopback, every node on its own
+/// thread. Returns the same RunResult the DES runner produces, with
+/// wall-clock fields filled from real elapsed time and latency
+/// percentiles aggregated across shards.
+Result<RunResult> RunRealExperiment(config::ExperimentConfig config,
+                                    const RealRunOptions& options);
+
+}  // namespace ccsim::runner
+
+#endif  // CCSIM_RUNNER_REAL_EXPERIMENT_H_

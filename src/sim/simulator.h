@@ -155,6 +155,25 @@ class Simulator {
   /// Total events processed so far (for micro-benchmarks and tests).
   std::uint64_t events_processed() const { return events_processed_; }
 
+  // --- realtime-substrate driver support. The DES substrate never calls
+  // these; they exist so a wall-clock-paced loop can sleep until the next
+  // event and keep the clock aligned with real time between events. ---
+
+  /// Fire time of the earliest pending calendar entry, or -1 when empty.
+  Ticks PeekNextTime() const {
+    return times_.empty() ? Ticks{-1} : times_.front().when;
+  }
+
+  /// Advances the clock to `t` without firing anything (no-op if t <= Now()).
+  /// The caller must already have fired every event at or before `t` —
+  /// i.e. call Run(t) first; any remaining entries are then strictly later.
+  void AdvanceTo(Ticks t) {
+    if (t > now_) {
+      CCSIM_DCHECK(times_.empty() || times_.front().when > t);
+      now_ = t;
+    }
+  }
+
   /// Pending calendar entries (tests / diagnostics).
   std::size_t calendar_size() const { return pending_; }
 

@@ -1,0 +1,104 @@
+#include "substrate/realtime.h"
+
+#include <utility>
+
+#include "util/macros.h"
+
+namespace ccsim::substrate {
+
+void RealtimeSubstrate::PostMessage(net::Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inject_.push_back(std::move(msg));
+  }
+  cv_.notify_one();
+}
+
+void RealtimeSubstrate::PostControl(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    control_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void RealtimeSubstrate::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_one();
+}
+
+void RealtimeSubstrate::DrainLocked(std::unique_lock<std::mutex>& lock) {
+  while (!inject_.empty() || !control_.empty()) {
+    std::deque<net::Message> msgs;
+    std::deque<std::function<void()>> thunks;
+    msgs.swap(inject_);
+    thunks.swap(control_);
+    lock.unlock();
+    for (net::Message& msg : msgs) {
+      CCSIM_CHECK_MSG(sink_ != nullptr, "message injected with no sink");
+      sink_(std::move(msg));
+    }
+    for (std::function<void()>& fn : thunks) {
+      fn();
+    }
+    lock.lock();
+  }
+}
+
+std::uint64_t RealtimeSubstrate::Run(sim::Ticks horizon) {
+  epoch_ = std::chrono::steady_clock::now();
+  std::uint64_t events = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    DrainLocked(lock);
+    if (stop_) {
+      stop_seen_ = true;
+      break;
+    }
+    sim::Ticks wall = WallTicks();
+    const sim::Ticks target = wall < horizon ? wall : horizon;
+    if (target >= sim_->Now()) {
+      lock.unlock();
+      // Fire everything due by `target`, then pin the clock to the wall so
+      // injections (and the latencies computed from Now()) line up with
+      // real time even when the calendar drained early.
+      events += sim_->Run(target);
+      sim_->AdvanceTo(target);
+      const bool model_stop = sim_->stop_requested();
+      lock.lock();
+      if (model_stop) {
+        stop_seen_ = true;
+        break;
+      }
+    }
+    if (wall >= horizon) {
+      break;
+    }
+    if (!inject_.empty() || !control_.empty() || stop_) {
+      continue;
+    }
+    // Sleep until the next calendar entry is due (or the horizon), but wake
+    // early for injections. An empty calendar waits on injections alone.
+    const sim::Ticks next = sim_->PeekNextTime();
+    sim::Ticks wake = horizon;
+    if (next >= 0 && next < wake) {
+      wake = next;
+    }
+    // Sleep at most one second per pass so an effectively-infinite horizon
+    // (a server waiting for work) never overflows the deadline arithmetic.
+    const sim::Ticks cap = wall + sim::kTicksPerSecond;
+    if (wake > cap) {
+      wake = cap;
+    }
+    cv_.wait_until(lock, epoch_ + std::chrono::microseconds(wake),
+                   [this] {
+                     return stop_ || !inject_.empty() || !control_.empty();
+                   });
+  }
+  return events;
+}
+
+}  // namespace ccsim::substrate

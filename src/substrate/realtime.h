@@ -1,0 +1,89 @@
+#ifndef CCSIM_SUBSTRATE_REALTIME_H_
+#define CCSIM_SUBSTRATE_REALTIME_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+#include "net/message.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace ccsim::substrate {
+
+/// Drives an (unmodified) sim::Simulator against the wall clock: one tick
+/// is one steady-clock microsecond. The protocol, client, server, and
+/// storage code keep running as coroutine processes on a single event-loop
+/// thread — exactly the calendar they run on under the DES substrate — but
+/// every timer now elapses in real time, and messages arrive from real
+/// sockets instead of the simulated medium.
+///
+/// Threading contract: the simulator and everything built on it (clients,
+/// server, protocol state) are touched ONLY by the thread inside Run().
+/// Other threads (socket readers, signal watchers) communicate exclusively
+/// through PostMessage()/PostControl()/Stop(), which enqueue under a mutex
+/// and are drained on the loop thread between calendar steps.
+class RealtimeSubstrate {
+ public:
+  explicit RealtimeSubstrate(sim::Simulator* sim) : sim_(sim) {}
+  RealtimeSubstrate(const RealtimeSubstrate&) = delete;
+  RealtimeSubstrate& operator=(const RealtimeSubstrate&) = delete;
+
+  /// Routes injected messages into the model (typically a Mailbox::Push on
+  /// the destination's inbox). Runs on the loop thread.
+  void set_message_sink(std::function<void(net::Message)> sink) {
+    sink_ = std::move(sink);
+  }
+
+  /// Wall-clock ticks since Run() started (0 before).
+  sim::Ticks WallTicks() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// Thread-safe: enqueues a message for delivery through the sink.
+  void PostMessage(net::Message msg);
+
+  /// Thread-safe: enqueues an arbitrary thunk to run on the loop thread.
+  void PostControl(std::function<void()> fn);
+
+  /// Thread-safe: makes Run() return after the current calendar step.
+  void Stop();
+
+  /// Runs the event loop until `horizon` wall ticks elapse, Stop() is
+  /// called, or the model requests a stop (sim::Simulator::RequestStop, as
+  /// fired by the commit-target hook). Returns the number of calendar
+  /// events processed. The simulated clock tracks the wall clock: between
+  /// calendar entries the loop sleeps (interruptibly) until the earlier of
+  /// the next fire time and the next injection.
+  std::uint64_t Run(sim::Ticks horizon);
+
+  /// True once Stop() was called or the model requested a stop.
+  bool stopped() const { return stop_seen_; }
+
+  sim::Simulator& sim() { return *sim_; }
+
+ private:
+  /// Moves every queued injection into the model. Caller holds `mu_`;
+  /// the lock is dropped while the sink and thunks run.
+  void DrainLocked(std::unique_lock<std::mutex>& lock);
+
+  sim::Simulator* sim_;
+  std::function<void(net::Message)> sink_;
+  std::chrono::steady_clock::time_point epoch_{};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<net::Message> inject_;
+  std::deque<std::function<void()>> control_;
+  bool stop_ = false;
+  bool stop_seen_ = false;
+};
+
+}  // namespace ccsim::substrate
+
+#endif  // CCSIM_SUBSTRATE_REALTIME_H_

@@ -1,0 +1,420 @@
+#include "substrate/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "util/macros.h"
+
+namespace ccsim::substrate {
+namespace {
+
+/// recv() exactly `len` bytes (retrying short reads and EINTR). Returns
+/// false on EOF or a hard error.
+bool ReadExact(int fd, std::uint8_t* buf, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::recv(fd, buf + done, len - done, 0);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return false;  // EOF or error
+  }
+  return true;
+}
+
+ScopedFd NewTcpSocket(std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return ScopedFd();
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return ScopedFd(fd);
+}
+
+bool ResolveV4(const std::string& host, in_addr* out) {
+  if (host.empty() || host == "localhost") {
+    out->s_addr = htonl(INADDR_LOOPBACK);
+    return true;
+  }
+  return ::inet_pton(AF_INET, host.c_str(), out) == 1;
+}
+
+/// Exchange validation shared by both ends: the per-run parameters both
+/// sides derive state from must agree, or page ids and protocol actions
+/// would silently mean different things.
+bool HellosCompatible(const Hello& mine, const Hello& theirs,
+                      std::string* error) {
+  if (theirs.algorithm != mine.algorithm || theirs.caching != mine.caching) {
+    *error = "peer runs a different consistency protocol";
+    return false;
+  }
+  if (theirs.total_pages != mine.total_pages) {
+    *error = "peer disagrees about the database size";
+    return false;
+  }
+  if (theirs.num_clients != mine.num_clients) {
+    *error = "peer disagrees about the total client count";
+    return false;
+  }
+  if (theirs.page_payload_bytes != mine.page_payload_bytes) {
+    *error = "peer disagrees about the page size";
+    return false;
+  }
+  return true;
+}
+
+/// Reads and decodes the peer's Hello (the first frame on the wire).
+bool ReadHello(Connection* conn, Hello* hello, std::string* error) {
+  std::vector<std::uint8_t> body;
+  if (!conn->ReadFrame(&body)) {
+    *error = "connection closed during handshake";
+    return false;
+  }
+  return DecodeHello(body.data(), body.size(), hello, error);
+}
+
+}  // namespace
+
+void ScopedFd::Reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void ScopedFd::ShutdownBoth() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+bool Connection::WriteAll(const std::uint8_t* data, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n =
+        ::send(fd_.get(), data + done, len - done, MSG_NOSIGNAL);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    dead_.store(true, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+bool Connection::SendMessage(const net::Message& msg,
+                             std::uint32_t page_payload_bytes) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (dead_.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  write_scratch_.clear();
+  EncodeMessage(msg, page_payload_bytes, &write_scratch_);
+  return WriteAll(write_scratch_.data(), write_scratch_.size());
+}
+
+bool Connection::SendRaw(const std::vector<std::uint8_t>& bytes) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (dead_.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  return WriteAll(bytes.data(), bytes.size());
+}
+
+bool Connection::ReadFrame(std::vector<std::uint8_t>* body) {
+  std::uint8_t prefix[4];
+  if (!ReadExact(fd_.get(), prefix, sizeof(prefix))) {
+    return false;
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(prefix[0]) |
+                            static_cast<std::uint32_t>(prefix[1]) << 8 |
+                            static_cast<std::uint32_t>(prefix[2]) << 16 |
+                            static_cast<std::uint32_t>(prefix[3]) << 24;
+  if (len > kMaxFrameBytes) {
+    dead_.store(true, std::memory_order_relaxed);
+    return false;
+  }
+  body->resize(len);
+  return len == 0 || ReadExact(fd_.get(), body->data(), len);
+}
+
+// --- client ---------------------------------------------------------------
+
+std::unique_ptr<TcpClientTransport> TcpClientTransport::Connect(
+    const std::string& host, int port, const Hello& hello,
+    RealtimeSubstrate* substrate, std::string* error) {
+  ScopedFd fd = NewTcpSocket(error);
+  if (!fd.valid()) {
+    return nullptr;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (!ResolveV4(host, &addr.sin_addr)) {
+    *error = "cannot parse host '" + host + "' (use an IPv4 address)";
+    return nullptr;
+  }
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    *error = std::string("connect: ") + std::strerror(errno);
+    return nullptr;
+  }
+  auto conn = std::make_unique<Connection>(std::move(fd));
+  std::vector<std::uint8_t> frame;
+  EncodeHello(hello, &frame);
+  if (!conn->SendRaw(frame)) {
+    *error = "connection closed during handshake";
+    return nullptr;
+  }
+  Hello server_hello;
+  if (!ReadHello(conn.get(), &server_hello, error)) {
+    return nullptr;
+  }
+  if (!HellosCompatible(hello, server_hello, error)) {
+    return nullptr;
+  }
+  conn->set_peer(server_hello);
+  return std::unique_ptr<TcpClientTransport>(new TcpClientTransport(
+      std::move(conn), substrate, hello.page_payload_bytes));
+}
+
+TcpClientTransport::TcpClientTransport(std::unique_ptr<Connection> conn,
+                                       RealtimeSubstrate* substrate,
+                                       std::uint32_t page_payload_bytes)
+    : conn_(std::move(conn)), substrate_(substrate),
+      page_payload_bytes_(page_payload_bytes) {
+  Connection* c = conn_.get();
+  reader_ = std::thread([this, c] {
+    std::vector<std::uint8_t> body;
+    net::Message msg;
+    std::string error;
+    while (c->ReadFrame(&body)) {
+      if (!DecodeMessage(body.data(), body.size(), page_payload_bytes_, &msg,
+                         &error)) {
+        break;
+      }
+      frames_received_.fetch_add(1, std::memory_order_relaxed);
+      substrate_->PostMessage(msg);
+    }
+  });
+}
+
+TcpClientTransport::~TcpClientTransport() { Close(); }
+
+void TcpClientTransport::Deliver(const net::Message& msg) {
+  conn_->SendMessage(msg, page_payload_bytes_);
+}
+
+void TcpClientTransport::Close() {
+  conn_->Shutdown();
+  if (reader_.joinable()) {
+    reader_.join();
+  }
+}
+
+// --- server ---------------------------------------------------------------
+
+std::unique_ptr<TcpServerTransport> TcpServerTransport::Listen(
+    int port, const Hello& hello, RealtimeSubstrate* substrate,
+    std::string* error) {
+  ScopedFd fd = NewTcpSocket(error);
+  if (!fd.valid()) {
+    return nullptr;
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    *error = std::string("bind: ") + std::strerror(errno);
+    return nullptr;
+  }
+  if (::listen(fd.get(), 64) != 0) {
+    *error = std::string("listen: ") + std::strerror(errno);
+    return nullptr;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    *error = std::string("getsockname: ") + std::strerror(errno);
+    return nullptr;
+  }
+  const int bound_port = ntohs(addr.sin_port);
+  return std::unique_ptr<TcpServerTransport>(
+      new TcpServerTransport(std::move(fd), bound_port, hello, substrate));
+}
+
+TcpServerTransport::TcpServerTransport(ScopedFd listen_fd, int port,
+                                       const Hello& hello,
+                                       RealtimeSubstrate* substrate)
+    : listen_fd_(std::move(listen_fd)), port_(port), hello_(hello),
+      substrate_(substrate) {
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+}
+
+TcpServerTransport::~TcpServerTransport() { Close(); }
+
+void TcpServerTransport::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // listener shut down
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>(ScopedFd(fd));
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closing_) {
+      conn->Shutdown();
+      return;
+    }
+    conns_.push_back(conn);
+    // Handshake and framing run on the per-connection reader so a stalled
+    // peer cannot block further accepts.
+    readers_.emplace_back([this, conn] { ReadLoop(conn); });
+  }
+}
+
+void TcpServerTransport::ReadLoop(std::shared_ptr<Connection> conn) {
+  Hello client_hello;
+  std::string error;
+  if (!ReadHello(conn.get(), &client_hello, &error) ||
+      !HellosCompatible(hello_, client_hello, &error)) {
+    std::fprintf(stderr, "ccserve: rejected connection: %s\n", error.c_str());
+    conn->Shutdown();
+    return;
+  }
+  if (client_hello.client_lo < 0 ||
+      client_hello.client_hi <= client_hello.client_lo ||
+      client_hello.client_hi > hello_.num_clients) {
+    std::fprintf(stderr,
+                 "ccserve: rejected connection: client range [%d, %d) "
+                 "outside the configured 0..%d\n",
+                 client_hello.client_lo, client_hello.client_hi,
+                 hello_.num_clients);
+    conn->Shutdown();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int id = client_hello.client_lo; id < client_hello.client_hi;
+         ++id) {
+      auto it = routes_.find(id);
+      if (it != routes_.end() && !it->second->dead()) {
+        std::fprintf(stderr,
+                     "ccserve: rejected connection: client id %d already "
+                     "connected\n",
+                     id);
+        conn->Shutdown();
+        return;
+      }
+    }
+    for (int id = client_hello.client_lo; id < client_hello.client_hi;
+         ++id) {
+      routes_[id] = conn;
+    }
+  }
+  conn->set_peer(client_hello);
+  std::vector<std::uint8_t> frame;
+  EncodeHello(hello_, &frame);
+  if (!conn->SendRaw(frame)) {
+    return;
+  }
+  connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::uint8_t> body;
+  net::Message msg;
+  while (conn->ReadFrame(&body)) {
+    if (!DecodeMessage(body.data(), body.size(), hello_.page_payload_bytes,
+                       &msg, &error)) {
+      std::fprintf(stderr, "ccserve: dropping connection: %s\n",
+                   error.c_str());
+      break;
+    }
+    frames_received_.fetch_add(1, std::memory_order_relaxed);
+    substrate_->PostMessage(msg);
+  }
+  conn->Shutdown();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int id = client_hello.client_lo; id < client_hello.client_hi; ++id) {
+    auto it = routes_.find(id);
+    if (it != routes_.end() && it->second == conn) {
+      routes_.erase(it);
+    }
+  }
+}
+
+void TcpServerTransport::Deliver(const net::Message& msg) {
+  std::shared_ptr<Connection> conn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = routes_.find(msg.dst);
+    if (it != routes_.end()) {
+      conn = it->second;
+    }
+  }
+  if (conn == nullptr ||
+      !conn->SendMessage(msg, hello_.page_payload_bytes)) {
+    // The destination hung up (a finished or killed load run): the message
+    // dies like mail to a crashed workstation.
+    unroutable_drops_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void TcpServerTransport::Close() {
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closing_) {
+      return;
+    }
+    closing_ = true;
+    readers.swap(readers_);
+  }
+  listen_fd_.ShutdownBoth();
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& conn : conns_) {
+      conn->Shutdown();
+    }
+    // A reader that raced past the closing_ check parked its thread in
+    // readers_ after the swap above; collect any stragglers.
+    for (auto& t : readers_) {
+      readers.push_back(std::move(t));
+    }
+    readers_.clear();
+  }
+  for (std::thread& t : readers) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+}  // namespace ccsim::substrate

@@ -1,0 +1,186 @@
+#ifndef CCSIM_SUBSTRATE_TCP_H_
+#define CCSIM_SUBSTRATE_TCP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.h"
+#include "substrate/realtime.h"
+#include "substrate/wire.h"
+
+namespace ccsim::substrate {
+
+/// Owning POSIX file descriptor.
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() { Reset(); }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.Release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Reset();
+  /// shutdown(SHUT_RDWR): unblocks a reader thread parked in recv().
+  void ShutdownBoth();
+
+ private:
+  int fd_ = -1;
+};
+
+/// One framed TCP connection: a socket, its peer's Hello, and the
+/// read/write plumbing. Writes happen from whichever thread calls
+/// SendFrame (serialized by `write_mu_`); reads happen on the owner's
+/// reader thread via ReadFrame.
+class Connection {
+ public:
+  explicit Connection(ScopedFd fd) : fd_(std::move(fd)) {}
+
+  /// Encodes and writes one Message frame. Returns false once the peer is
+  /// gone (connection marked dead; further sends are dropped silently).
+  bool SendMessage(const net::Message& msg, std::uint32_t page_payload_bytes);
+
+  /// Writes a pre-encoded frame (used for the Hello).
+  bool SendRaw(const std::vector<std::uint8_t>& bytes);
+
+  /// Blocking read of one length-prefixed frame body. Returns false on
+  /// EOF/error. `body` is reused across calls.
+  bool ReadFrame(std::vector<std::uint8_t>* body);
+
+  void Shutdown() { fd_.ShutdownBoth(); }
+  bool dead() const { return dead_.load(std::memory_order_relaxed); }
+  const Hello& peer() const { return peer_; }
+  void set_peer(const Hello& hello) { peer_ = hello; }
+
+ private:
+  bool WriteAll(const std::uint8_t* data, std::size_t len);
+
+  ScopedFd fd_;
+  Hello peer_{};
+  std::mutex write_mu_;
+  std::vector<std::uint8_t> write_scratch_;
+  std::atomic<bool> dead_{false};
+};
+
+/// Client side of the wire: one connection from a load-generator shard to
+/// the page server. Installed as the shard Network's Transport, it ships
+/// every outbound message over TCP; a reader thread posts inbound frames
+/// into the shard's RealtimeSubstrate.
+class TcpClientTransport : public net::Transport {
+ public:
+  /// Connects, exchanges Hellos, and validates the server against `hello`
+  /// (algorithm, database size, client-id range). Returns nullptr with
+  /// `error` set on any failure.
+  static std::unique_ptr<TcpClientTransport> Connect(
+      const std::string& host, int port, const Hello& hello,
+      RealtimeSubstrate* substrate, std::string* error);
+
+  ~TcpClientTransport() override;
+
+  /// net::Transport: called on the shard loop thread.
+  void Deliver(const net::Message& msg) override;
+
+  /// Closes the socket and joins the reader.
+  void Close();
+
+  std::uint64_t frames_received() const {
+    return frames_received_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  TcpClientTransport(std::unique_ptr<Connection> conn,
+                     RealtimeSubstrate* substrate,
+                     std::uint32_t page_payload_bytes);
+
+  std::unique_ptr<Connection> conn_;
+  RealtimeSubstrate* substrate_;
+  std::uint32_t page_payload_bytes_;
+  std::atomic<std::uint64_t> frames_received_{0};
+  std::thread reader_;
+};
+
+/// Server side of the wire: a listener plus one Connection per load shard.
+/// Installed as the server Network's Transport, it routes each outbound
+/// message to the connection whose Hello claimed the destination client
+/// id; inbound frames from every connection are posted into the server's
+/// RealtimeSubstrate. Connections come and go (ccload runs end while
+/// ccserve stays up): messages to a departed client are counted and
+/// dropped, exactly like a crashed workstation.
+class TcpServerTransport : public net::Transport {
+ public:
+  /// Binds and listens on `port` (0 = ephemeral). `hello` describes this
+  /// server and is used to validate every client. Returns nullptr with
+  /// `error` set on failure.
+  static std::unique_ptr<TcpServerTransport> Listen(
+      int port, const Hello& hello, RealtimeSubstrate* substrate,
+      std::string* error);
+
+  ~TcpServerTransport() override;
+
+  /// net::Transport: called on the server loop thread.
+  void Deliver(const net::Message& msg) override;
+
+  /// Stops accepting, closes every connection, joins all threads.
+  void Close();
+
+  int port() const { return port_; }
+  std::uint64_t frames_received() const {
+    return frames_received_.load(std::memory_order_relaxed);
+  }
+  /// Messages dropped because no live connection claimed the destination.
+  std::uint64_t unroutable_drops() const {
+    return unroutable_drops_.load(std::memory_order_relaxed);
+  }
+  /// Connections accepted over the server's lifetime.
+  std::uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  TcpServerTransport(ScopedFd listen_fd, int port, const Hello& hello,
+                     RealtimeSubstrate* substrate);
+
+  void AcceptLoop();
+  void ReadLoop(std::shared_ptr<Connection> conn);
+
+  ScopedFd listen_fd_;
+  int port_;
+  Hello hello_;
+  RealtimeSubstrate* substrate_;
+
+  std::mutex mu_;
+  bool closing_ = false;
+  /// client id -> the connection that registered it.
+  std::unordered_map<int, std::shared_ptr<Connection>> routes_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> readers_;
+
+  std::atomic<std::uint64_t> frames_received_{0};
+  std::atomic<std::uint64_t> unroutable_drops_{0};
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::thread acceptor_;
+};
+
+}  // namespace ccsim::substrate
+
+#endif  // CCSIM_SUBSTRATE_TCP_H_

@@ -1,0 +1,257 @@
+#include "substrate/wire.h"
+
+#include <cstring>
+
+namespace ccsim::substrate {
+namespace {
+
+void PutU8(std::uint8_t v, std::vector<std::uint8_t>* out) {
+  out->push_back(v);
+}
+
+void PutU32(std::uint32_t v, std::vector<std::uint8_t>* out) {
+  out->push_back(static_cast<std::uint8_t>(v));
+  out->push_back(static_cast<std::uint8_t>(v >> 8));
+  out->push_back(static_cast<std::uint8_t>(v >> 16));
+  out->push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void PutU64(std::uint64_t v, std::vector<std::uint8_t>* out) {
+  PutU32(static_cast<std::uint32_t>(v), out);
+  PutU32(static_cast<std::uint32_t>(v >> 32), out);
+}
+
+void PutI32(std::int32_t v, std::vector<std::uint8_t>* out) {
+  PutU32(static_cast<std::uint32_t>(v), out);
+}
+
+void PutI64(std::int64_t v, std::vector<std::uint8_t>* out) {
+  PutU64(static_cast<std::uint64_t>(v), out);
+}
+
+void PutPages(const net::PageList& pages, std::vector<std::uint8_t>* out) {
+  PutU32(static_cast<std::uint32_t>(pages.size()), out);
+  for (db::PageId page : pages) {
+    PutI32(page, out);
+  }
+}
+
+void PutVersions(const net::VersionList& versions,
+                 std::vector<std::uint8_t>* out) {
+  PutU32(static_cast<std::uint32_t>(versions.size()), out);
+  for (std::uint64_t v : versions) {
+    PutU64(v, out);
+  }
+}
+
+/// Bounded little-endian reader over a frame body.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t len)
+      : data_(data), len_(len) {}
+
+  bool U8(std::uint8_t* v) {
+    if (pos_ + 1 > len_) {
+      return false;
+    }
+    *v = data_[pos_++];
+    return true;
+  }
+
+  bool U32(std::uint32_t* v) {
+    if (pos_ + 4 > len_) {
+      return false;
+    }
+    *v = static_cast<std::uint32_t>(data_[pos_]) |
+         static_cast<std::uint32_t>(data_[pos_ + 1]) << 8 |
+         static_cast<std::uint32_t>(data_[pos_ + 2]) << 16 |
+         static_cast<std::uint32_t>(data_[pos_ + 3]) << 24;
+    pos_ += 4;
+    return true;
+  }
+
+  bool U64(std::uint64_t* v) {
+    std::uint32_t lo = 0, hi = 0;
+    if (!U32(&lo) || !U32(&hi)) {
+      return false;
+    }
+    *v = static_cast<std::uint64_t>(lo) | static_cast<std::uint64_t>(hi) << 32;
+    return true;
+  }
+
+  bool I32(std::int32_t* v) {
+    std::uint32_t raw = 0;
+    if (!U32(&raw)) {
+      return false;
+    }
+    *v = static_cast<std::int32_t>(raw);
+    return true;
+  }
+
+  bool I64(std::int64_t* v) {
+    std::uint64_t raw = 0;
+    if (!U64(&raw)) {
+      return false;
+    }
+    *v = static_cast<std::int64_t>(raw);
+    return true;
+  }
+
+  bool Pages(net::PageList* pages) {
+    std::uint32_t count = 0;
+    if (!U32(&count) || pos_ + std::size_t{count} * 4 > len_) {
+      return false;
+    }
+    pages->clear();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::int32_t page = 0;
+      I32(&page);
+      pages->push_back(page);
+    }
+    return true;
+  }
+
+  bool Versions(net::VersionList* versions) {
+    std::uint32_t count = 0;
+    if (!U32(&count) || pos_ + std::size_t{count} * 8 > len_) {
+      return false;
+    }
+    versions->clear();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::uint64_t v = 0;
+      U64(&v);
+      versions->push_back(v);
+    }
+    return true;
+  }
+
+  bool Skip(std::size_t n) {
+    if (pos_ + n > len_) {
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == len_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+};
+
+/// Patches the u32 length prefix reserved at `length_at` once the body is
+/// fully appended.
+void FinishFrame(std::size_t length_at, std::vector<std::uint8_t>* out) {
+  const std::uint32_t body =
+      static_cast<std::uint32_t>(out->size() - length_at - 4);
+  (*out)[length_at] = static_cast<std::uint8_t>(body);
+  (*out)[length_at + 1] = static_cast<std::uint8_t>(body >> 8);
+  (*out)[length_at + 2] = static_cast<std::uint8_t>(body >> 16);
+  (*out)[length_at + 3] = static_cast<std::uint8_t>(body >> 24);
+}
+
+}  // namespace
+
+void EncodeHello(const Hello& hello, std::vector<std::uint8_t>* out) {
+  const std::size_t length_at = out->size();
+  PutU32(0, out);  // patched below
+  PutU32(kWireMagic, out);
+  PutU32(hello.version, out);
+  PutU8(hello.algorithm, out);
+  PutU8(hello.caching, out);
+  PutI32(hello.client_lo, out);
+  PutI32(hello.client_hi, out);
+  PutI64(hello.total_pages, out);
+  PutI32(hello.num_clients, out);
+  PutU32(hello.page_payload_bytes, out);
+  FinishFrame(length_at, out);
+}
+
+bool DecodeHello(const std::uint8_t* body, std::size_t len, Hello* out,
+                 std::string* error) {
+  Reader r(body, len);
+  std::uint32_t magic = 0;
+  if (!r.U32(&magic) || magic != kWireMagic) {
+    *error = "bad magic (not a ccsim wire peer)";
+    return false;
+  }
+  if (!r.U32(&out->version) || out->version != kWireVersion) {
+    *error = "wire version mismatch";
+    return false;
+  }
+  if (!r.U8(&out->algorithm) || !r.U8(&out->caching) ||
+      !r.I32(&out->client_lo) || !r.I32(&out->client_hi) ||
+      !r.I64(&out->total_pages) || !r.I32(&out->num_clients) ||
+      !r.U32(&out->page_payload_bytes) || !r.AtEnd()) {
+    *error = "truncated hello";
+    return false;
+  }
+  return true;
+}
+
+void EncodeMessage(const net::Message& msg, std::uint32_t page_payload_bytes,
+                   std::vector<std::uint8_t>* out) {
+  const std::size_t length_at = out->size();
+  PutU32(0, out);  // patched below
+  PutU8(static_cast<std::uint8_t>(msg.type), out);
+  PutI32(msg.src, out);
+  PutI32(msg.dst, out);
+  PutU64(msg.xact, out);
+  PutU64(msg.request_id, out);
+  PutU64(msg.seq, out);
+  PutU32(msg.incarnation, out);
+  PutU8(static_cast<std::uint8_t>(msg.mode), out);
+  PutU8(static_cast<std::uint8_t>((msg.aborted ? 1 : 0) |
+                                  (msg.invalidate ? 2 : 0)),
+        out);
+  PutPages(msg.pages, out);
+  PutVersions(msg.versions, out);
+  PutPages(msg.data_pages, out);
+  PutVersions(msg.data_versions, out);
+  PutPages(msg.fetch_pages, out);
+  PutPages(msg.read_set, out);
+  PutVersions(msg.read_versions, out);
+  PutPages(msg.updated_set, out);
+  PutPages(msg.released_pages, out);
+  PutPages(msg.evicted_pages, out);
+  // Page images: the model tracks versions rather than bytes, so the image
+  // payload is zero-filled, but it is still shipped at full page size.
+  out->resize(out->size() +
+              std::size_t{page_payload_bytes} * msg.data_pages.size());
+  FinishFrame(length_at, out);
+}
+
+bool DecodeMessage(const std::uint8_t* body, std::size_t len,
+                   std::uint32_t page_payload_bytes, net::Message* out,
+                   std::string* error) {
+  Reader r(body, len);
+  std::uint8_t type = 0, mode = 0, flags = 0;
+  if (!r.U8(&type) || !r.I32(&out->src) || !r.I32(&out->dst) ||
+      !r.U64(&out->xact) || !r.U64(&out->request_id) || !r.U64(&out->seq) ||
+      !r.U32(&out->incarnation) || !r.U8(&mode) || !r.U8(&flags)) {
+    *error = "truncated message header";
+    return false;
+  }
+  out->type = static_cast<net::MsgType>(type);
+  out->mode = static_cast<lock::LockMode>(mode);
+  out->aborted = (flags & 1) != 0;
+  out->invalidate = (flags & 2) != 0;
+  if (!r.Pages(&out->pages) || !r.Versions(&out->versions) ||
+      !r.Pages(&out->data_pages) || !r.Versions(&out->data_versions) ||
+      !r.Pages(&out->fetch_pages) || !r.Pages(&out->read_set) ||
+      !r.Versions(&out->read_versions) || !r.Pages(&out->updated_set) ||
+      !r.Pages(&out->released_pages) || !r.Pages(&out->evicted_pages)) {
+    *error = "truncated message lists";
+    return false;
+  }
+  if (!r.Skip(std::size_t{page_payload_bytes} * out->data_pages.size()) ||
+      !r.AtEnd()) {
+    *error = "message length does not match its page payload";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ccsim::substrate

@@ -1,0 +1,68 @@
+#ifndef CCSIM_SUBSTRATE_WIRE_H_
+#define CCSIM_SUBSTRATE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+
+namespace ccsim::substrate {
+
+/// Wire format of the real transport. Every frame on the socket is
+///
+///   u32-LE body length | body
+///
+/// The first frame in each direction is a Hello that pins down protocol
+/// compatibility (magic, version, algorithm, database size, client-id
+/// range); every subsequent frame is one encoded net::Message. All scalars
+/// are little-endian and fixed-width, so the format is stable across
+/// hosts. Page images are carried as `page_payload_bytes` of payload per
+/// entry of `data_pages` (the simulated database models versions, not
+/// bytes, so the payload is zero-filled — but it travels the wire at full
+/// size, making loopback throughput honest about bandwidth).
+inline constexpr std::uint32_t kWireMagic = 0x43435257;  // "CCRW"
+inline constexpr std::uint32_t kWireVersion = 1;
+/// Upper bound on a sane frame body (header + lists + page images).
+inline constexpr std::uint32_t kMaxFrameBytes = 64u * 1024u * 1024u;
+
+/// Connection handshake, sent once by each side before any message.
+struct Hello {
+  std::uint32_t version = kWireVersion;
+  /// config::Algorithm as an integer.
+  std::uint8_t algorithm = 0;
+  /// config::CachingMode as an integer.
+  std::uint8_t caching = 0;
+  /// First (inclusive) and last (exclusive) client id behind this
+  /// connection; the server routes replies for [lo, hi) back here.
+  /// The server's own hello sends 0, 0.
+  std::int32_t client_lo = 0;
+  std::int32_t client_hi = 0;
+  /// Database size, so both sides agree on the page-id space.
+  std::int64_t total_pages = 0;
+  /// Total clients the peer expects in the whole experiment.
+  std::int32_t num_clients = 0;
+  /// Bytes of page image carried per data_pages entry.
+  std::uint32_t page_payload_bytes = 0;
+};
+
+/// Appends the length-prefixed Hello frame to `out`.
+void EncodeHello(const Hello& hello, std::vector<std::uint8_t>* out);
+
+/// Decodes a Hello from a frame body. Returns false (with a reason) on a
+/// bad magic, size, or version.
+bool DecodeHello(const std::uint8_t* body, std::size_t len, Hello* out,
+                 std::string* error);
+
+/// Appends the length-prefixed Message frame to `out`.
+void EncodeMessage(const net::Message& msg, std::uint32_t page_payload_bytes,
+                   std::vector<std::uint8_t>* out);
+
+/// Decodes a Message from a frame body. Returns false on a malformed body.
+bool DecodeMessage(const std::uint8_t* body, std::size_t len,
+                   std::uint32_t page_payload_bytes, net::Message* out,
+                   std::string* error);
+
+}  // namespace ccsim::substrate
+
+#endif  // CCSIM_SUBSTRATE_WIRE_H_

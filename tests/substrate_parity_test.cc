@@ -1,0 +1,144 @@
+// Substrate parity: the same workload configuration, run once on the
+// deterministic DES substrate and once on the real substrate (threads +
+// TCP loopback), must satisfy the same structural invariants:
+//
+//   - attempt conservation: every started attempt ends in exactly one
+//     commit or abort, with at most num_clients attempts in flight when
+//     the run stops, and zero transactions lost;
+//   - oracle-clean: with the consistency checker on, both runs survive
+//     serializability checking and the commit-time structural audits
+//     (a violation aborts the process, so surviving IS the assertion);
+//   - liveness: both substrates actually commit work.
+//
+// The real runs are wall-clock paced, so this file is the slow kind of
+// test (~2 s per protocol); it is also the one that must stay clean under
+// ASan and TSan — it exercises every cross-thread path in the substrate.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "config/params.h"
+#include "runner/experiment.h"
+#include "runner/real_experiment.h"
+#include "util/status.h"
+
+namespace ccsim {
+namespace {
+
+using config::Algorithm;
+using config::CachingMode;
+using config::ExperimentConfig;
+using runner::RunResult;
+
+ExperimentConfig ParityConfig(Algorithm algorithm, CachingMode caching) {
+  ExperimentConfig cfg = config::BaseConfig();
+  cfg.algorithm.algorithm = algorithm;
+  cfg.algorithm.caching = caching;
+  cfg.system.num_clients = 6;
+  cfg.control.seed = 11;
+  cfg.checker.enabled = true;
+  // Keep the clients busy: parity is about message interleavings, not
+  // think-time realism, and short real runs need enough commits to bite.
+  cfg.transaction.update_delay_s = 0.0;
+  cfg.transaction.internal_delay_s = 0.0;
+  cfg.transaction.external_delay_s = 0.05;
+  return cfg;
+}
+
+void CheckInvariants(const RunResult& r, int num_clients, const char* which) {
+  SCOPED_TRACE(which);
+  EXPECT_GT(r.commits, 0u);
+  EXPECT_EQ(r.transactions_lost, 0u);
+  EXPECT_FALSE(r.stalled);
+  // Conservation over the measurement window:
+  //   started + in_flight(window start) == finished + in_flight(window end)
+  // and each client drives one attempt at a time, so both in-flight terms
+  // are bounded by the population: |started - finished| <= num_clients.
+  const std::uint64_t finished = r.commits + r.aborts;
+  const std::uint64_t slack = static_cast<std::uint64_t>(num_clients);
+  EXPECT_LE(r.attempts_started, finished + slack);
+  EXPECT_LE(finished, r.attempts_started + slack);
+  EXPECT_TRUE(r.oracle_enabled);
+  EXPECT_GE(r.oracle_commits, r.commits);
+}
+
+class SubstrateParityTest
+    : public ::testing::TestWithParam<std::pair<Algorithm, CachingMode>> {};
+
+TEST_P(SubstrateParityTest, ConservationAndOracleOnBothSubstrates) {
+  const auto [algorithm, caching] = GetParam();
+  ExperimentConfig cfg = ParityConfig(algorithm, caching);
+
+  // DES substrate: commit-target driven, virtual time.
+  cfg.control.warmup_seconds = 2;
+  cfg.control.target_commits = 200;
+  cfg.control.max_measure_seconds = 300;
+  const Result<RunResult> sim = runner::RunExperiment(cfg);
+  ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+  CheckInvariants(sim.ValueOrDie(), cfg.system.num_clients, "sim");
+
+  // Real substrate: the same config, wall-clock paced over TCP loopback.
+  runner::RealRunOptions options;
+  options.warmup_seconds = 0.3;
+  options.duration_seconds = 1.2;
+  const Result<RunResult> real = runner::RunRealExperiment(cfg, options);
+  ASSERT_TRUE(real.ok()) << real.status().ToString();
+  CheckInvariants(real.ValueOrDie(), cfg.system.num_clients, "real");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, SubstrateParityTest,
+    ::testing::Values(
+        std::pair{Algorithm::kTwoPhaseLocking,
+                  CachingMode::kInterTransaction},
+        std::pair{Algorithm::kCertification, CachingMode::kInterTransaction},
+        std::pair{Algorithm::kCallbackLocking,
+                  CachingMode::kInterTransaction},
+        std::pair{Algorithm::kNoWaitLocking, CachingMode::kInterTransaction},
+        std::pair{Algorithm::kNoWaitNotify, CachingMode::kInterTransaction}),
+    [](const auto& info) {
+      switch (info.param.first) {
+        case Algorithm::kTwoPhaseLocking:
+          return "TwoPhaseLocking";
+        case Algorithm::kCertification:
+          return "Certification";
+        case Algorithm::kCallbackLocking:
+          return "CallbackLocking";
+        case Algorithm::kNoWaitLocking:
+          return "NoWaitLocking";
+        case Algorithm::kNoWaitNotify:
+          return "NoWaitNotify";
+      }
+      return "Unknown";
+    });
+
+// Sim-only options must be rejected up front, not silently ignored: a
+// fault plan the real transport cannot execute would otherwise "pass".
+TEST(RealConfigValidationTest, RejectsFaultPlans) {
+  ExperimentConfig cfg = ParityConfig(Algorithm::kTwoPhaseLocking,
+                                      CachingMode::kInterTransaction);
+  cfg.fault.drop_probability = 0.01;
+  cfg.fault.recovery_enabled = true;
+  const Status status = runner::ValidateRealConfig(cfg);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RealConfigValidationTest, RejectsHistoryRecording) {
+  ExperimentConfig cfg = ParityConfig(Algorithm::kTwoPhaseLocking,
+                                      CachingMode::kInterTransaction);
+  cfg.control.record_history = true;
+  const Status status = runner::ValidateRealConfig(cfg);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RealConfigValidationTest, AcceptsCleanConfig) {
+  const ExperimentConfig cfg = ParityConfig(
+      Algorithm::kTwoPhaseLocking, CachingMode::kInterTransaction);
+  EXPECT_TRUE(runner::ValidateRealConfig(cfg).ok());
+}
+
+}  // namespace
+}  // namespace ccsim

@@ -8,7 +8,12 @@
 #      small hosts), with a byte-identity check on the outputs — and
 #      a third run under the consistency oracle (CCSIM_CHECK=1), which must
 #      also be byte-identical (the oracle is an observer);
-#   3. a regression guard: if a previous BENCH_kernel.json exists and was
+#   3. a real-substrate probe: one hot ccsim_run --substrate=real loopback
+#      run (threads + TCP, think times zeroed) whose commits/s is recorded
+#      under real_substrate — the wall-clock cost of a real commit next to
+#      the simulator's virtual one (recorded, not regression-guarded:
+#      wall-clock numbers are too host-dependent to gate on);
+#   4. a regression guard: if a previous BENCH_kernel.json exists and was
 #      produced by the same build type, every micro benchmark's events/sec
 #      — in particular BM_ExperimentCheckerOff, the "a disabled checker
 #      costs nothing" guard — must be within CCSIM_BENCH_TOLERANCE percent
@@ -38,7 +43,8 @@ fi
 
 micro="$build_dir/bench/micro_kernel"
 fig12="$build_dir/bench/fig12_short_xact_throughput"
-for bin in "$micro" "$fig12"; do
+ccsim_run="$build_dir/tools/ccsim_run"
+for bin in "$micro" "$fig12" "$ccsim_run"; do
   if [[ ! -x "$bin" ]]; then
     echo "missing $bin — build first: cmake --build $build_dir -j" >&2
     exit 1
@@ -92,6 +98,13 @@ else
        "the oracle is supposed to be a pure observer!" >&2
   diff "$tmp/fig12_parallel.txt" "$tmp/fig12_check.txt" | head -20 >&2
 fi
+
+echo "== real substrate (2pl, 16 clients, TCP loopback, 3 s) ==" >&2
+"$ccsim_run" --substrate=real --algorithm=2pl --clients=16 --duration=3 \
+  --update-delay=0 --internal-delay=0 --external-delay=0 --csv \
+  >"$tmp/real.csv"
+real_tput=$(awk -F, 'NR==2{print $7}' "$tmp/real.csv")
+real_commits=$(awk -F, 'NR==2{print $8}' "$tmp/real.csv")
 
 old_baseline="$repo_root/BENCH_kernel.json"
 if [[ -f "$old_baseline" && "${CCSIM_BENCH_NO_GUARD:-0}" != "1" ]]; then
@@ -150,6 +163,14 @@ out = {
         for b in micro["benchmarks"]
     ],
     "checker_guard": checker_guard,
+    "real_substrate": {
+        "algorithm": "2pl",
+        "clients": 16,
+        "duration_seconds": 3,
+        "think_times": "zeroed",
+        "commits_per_second": $real_tput,
+        "commits": $real_commits,
+    },
     "fig12_sweep": {
         "scale": $scale,
         "jobs": $jobs,

@@ -1,0 +1,297 @@
+// ccload — multi-threaded load generator for ccserve. Drives a slice of
+// the client population (the same client::Client + workload code the DES
+// runs) against a real page server over TCP, then reports wall-clock
+// throughput, latency percentiles, and the attempt-conservation check.
+//
+//   $ ccload --port=7411 --algorithm=callback --clients=16 --duration=30
+//   $ ccload --port-file=/tmp/port --algorithm=cert --clients=8
+//            --lo=0 --hi=4 --threads=2   # half the population, 2 shards
+//
+// Exits non-zero if any transaction was lost, the conservation invariant
+// (started == commits + aborts + in-flight, in-flight <= clients) fails,
+// or nothing committed at all.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "config/params.h"
+#include "runner/metrics.h"
+#include "sim/time.h"
+#include "substrate/node.h"
+#include "substrate/tcp.h"
+
+namespace {
+
+using ccsim::config::Algorithm;
+using ccsim::config::CachingMode;
+using ccsim::config::ExperimentConfig;
+
+struct AlgorithmChoice {
+  const char* name;
+  Algorithm algorithm;
+  CachingMode caching;
+};
+
+const AlgorithmChoice kAlgorithms[] = {
+    {"2pl", Algorithm::kTwoPhaseLocking, CachingMode::kInterTransaction},
+    {"2pl-intra", Algorithm::kTwoPhaseLocking,
+     CachingMode::kIntraTransaction},
+    {"cert", Algorithm::kCertification, CachingMode::kInterTransaction},
+    {"cert-intra", Algorithm::kCertification,
+     CachingMode::kIntraTransaction},
+    {"callback", Algorithm::kCallbackLocking,
+     CachingMode::kInterTransaction},
+    {"no-wait", Algorithm::kNoWaitLocking, CachingMode::kInterTransaction},
+    {"no-wait-notify", Algorithm::kNoWaitNotify,
+     CachingMode::kInterTransaction},
+};
+
+void PrintUsage() {
+  std::printf(
+      "ccload — TCP load generator for ccserve\n\n"
+      "  --host=H              server host (default 127.0.0.1)\n"
+      "  --port=N              server port\n"
+      "  --port-file=PATH      read the port from PATH (ccserve wrote it)\n"
+      "  --algorithm=NAME      must match the server\n"
+      "  --clients=N           total client population (must match server)\n"
+      "  --lo=N --hi=N         global client-id slice this process drives\n"
+      "                        (default the whole population)\n"
+      "  --threads=N           event-loop shards (default: 1 per 8 clients,\n"
+      "                        at least 2)\n"
+      "  --duration=S          measured wall seconds (default 10)\n"
+      "  --warmup=S            warmup before the stats window (default 1)\n"
+      "  --locality=P --prob-write=P   workload shape\n"
+      "  --seed=N              RNG seed (must match the server)\n"
+      "  --help                this text\n");
+}
+
+bool ParseValue(const char* arg, const char* name, std::string* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') {
+    return false;
+  }
+  *out = arg + len + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ExperimentConfig cfg = ccsim::config::BaseConfig();
+  cfg.system.num_clients = 10;
+  std::string algorithm_name = "2pl";
+  std::string host = "127.0.0.1";
+  std::string port_file;
+  int port = 0;
+  int lo = 0;
+  int hi = -1;  // default: num_clients
+  int threads = 0;
+  double duration_s = 10.0;
+  double warmup_s = 1.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    std::string value;
+    if (std::strcmp(arg, "--help") == 0) {
+      PrintUsage();
+      return 0;
+    }
+    if (ParseValue(arg, "--host", &value)) {
+      host = value;
+    } else if (ParseValue(arg, "--port", &value)) {
+      port = std::atoi(value.c_str());
+    } else if (ParseValue(arg, "--port-file", &value)) {
+      port_file = value;
+    } else if (ParseValue(arg, "--algorithm", &value)) {
+      algorithm_name = value;
+    } else if (ParseValue(arg, "--clients", &value)) {
+      cfg.system.num_clients = std::atoi(value.c_str());
+    } else if (ParseValue(arg, "--lo", &value)) {
+      lo = std::atoi(value.c_str());
+    } else if (ParseValue(arg, "--hi", &value)) {
+      hi = std::atoi(value.c_str());
+    } else if (ParseValue(arg, "--threads", &value)) {
+      threads = std::atoi(value.c_str());
+    } else if (ParseValue(arg, "--duration", &value)) {
+      duration_s = std::atof(value.c_str());
+    } else if (ParseValue(arg, "--warmup", &value)) {
+      warmup_s = std::atof(value.c_str());
+    } else if (ParseValue(arg, "--locality", &value)) {
+      cfg.transaction.inter_xact_loc = std::atof(value.c_str());
+    } else if (ParseValue(arg, "--prob-write", &value)) {
+      cfg.transaction.prob_write = std::atof(value.c_str());
+    } else if (ParseValue(arg, "--seed", &value)) {
+      cfg.control.seed = static_cast<std::uint64_t>(
+          std::strtoull(value.c_str(), nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg);
+      return 2;
+    }
+  }
+
+  bool found = false;
+  for (const AlgorithmChoice& choice : kAlgorithms) {
+    if (algorithm_name == choice.name) {
+      cfg.algorithm.algorithm = choice.algorithm;
+      cfg.algorithm.caching = choice.caching;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "unknown algorithm '%s'\n", algorithm_name.c_str());
+    return 2;
+  }
+  cfg = ccsim::substrate::RawSpeedConfig(cfg);
+  if (const ccsim::Status status = cfg.Validate(); !status.ok()) {
+    std::fprintf(stderr, "invalid configuration: %s\n",
+                 status.ToString().c_str());
+    return 2;
+  }
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "r");
+    if (f == nullptr || std::fscanf(f, "%d", &port) != 1) {
+      std::fprintf(stderr, "cannot read port from %s\n", port_file.c_str());
+      if (f != nullptr) {
+        std::fclose(f);
+      }
+      return 2;
+    }
+    std::fclose(f);
+  }
+  if (port <= 0) {
+    std::fprintf(stderr, "need --port or --port-file\n");
+    return 2;
+  }
+  if (hi < 0) {
+    hi = cfg.system.num_clients;
+  }
+  if (lo < 0 || lo >= hi || hi > cfg.system.num_clients) {
+    std::fprintf(stderr, "bad client slice [%d, %d) of %d\n", lo, hi,
+                 cfg.system.num_clients);
+    return 2;
+  }
+  const int driven = hi - lo;
+  int shards = threads > 0 ? threads : (driven + 7) / 8;
+  if (shards < 2) {
+    shards = 2;
+  }
+  if (shards > driven) {
+    shards = driven;
+  }
+  if (duration_s <= 0) {
+    std::fprintf(stderr, "--duration must be positive\n");
+    return 2;
+  }
+
+  // --- connect shards -----------------------------------------------------
+  const ccsim::substrate::Hello base_hello = ccsim::substrate::MakeHello(cfg);
+  std::vector<std::unique_ptr<ccsim::substrate::ClientShard>> shard_nodes;
+  std::vector<std::unique_ptr<ccsim::substrate::TcpClientTransport>>
+      transports;
+  for (int s = 0; s < shards; ++s) {
+    const int shard_lo = lo + driven * s / shards;
+    const int shard_hi = lo + driven * (s + 1) / shards;
+    auto shard = std::make_unique<ccsim::substrate::ClientShard>(
+        cfg, cfg.control.seed, shard_lo, shard_hi);
+    ccsim::substrate::Hello hello = base_hello;
+    hello.client_lo = shard_lo;
+    hello.client_hi = shard_hi;
+    std::string error;
+    auto transport = ccsim::substrate::TcpClientTransport::Connect(
+        host, port, hello, &shard->substrate(), &error);
+    if (transport == nullptr) {
+      std::fprintf(stderr, "connect to %s:%d failed: %s\n", host.c_str(),
+                   port, error.c_str());
+      return 1;
+    }
+    shard->network().set_transport(transport.get());
+    shard->Start();
+    shard_nodes.push_back(std::move(shard));
+    transports.push_back(std::move(transport));
+  }
+  std::printf("ccload: %s, clients [%d, %d) of %d, %d shards -> %s:%d\n",
+              algorithm_name.c_str(), lo, hi, cfg.system.num_clients, shards,
+              host.c_str(), port);
+  std::fflush(stdout);
+
+  // --- run ----------------------------------------------------------------
+  const ccsim::sim::Ticks warmup = ccsim::sim::SecondsToTicks(warmup_s);
+  const ccsim::sim::Ticks duration = ccsim::sim::SecondsToTicks(duration_s);
+  std::vector<std::thread> loops;
+  loops.reserve(static_cast<std::size_t>(shards));
+  for (auto& shard_ptr : shard_nodes) {
+    ccsim::substrate::ClientShard* shard = shard_ptr.get();
+    loops.emplace_back(
+        [shard, warmup, duration] { shard->RunLoop(warmup, duration); });
+  }
+  for (std::thread& t : loops) {
+    t.join();
+  }
+  for (auto& transport : transports) {
+    transport->Close();
+  }
+
+  // --- report -------------------------------------------------------------
+  std::uint64_t commits = 0, aborts = 0, started = 0, lost = 0;
+  std::uint64_t messages = 0;
+  double response_weighted = 0.0;
+  ccsim::runner::LatencyHistogram histogram;
+  for (auto& shard : shard_nodes) {
+    const ccsim::runner::Metrics& m = shard->metrics();
+    commits += m.commits();
+    aborts += m.aborts();
+    started += m.attempts_started();
+    lost += m.transactions_lost();
+    response_weighted +=
+        m.response_s().mean() * static_cast<double>(m.response_s().count());
+    histogram.Merge(m.response_histogram());
+    messages += shard->network().messages_sent();
+  }
+  const std::uint64_t finished = commits + aborts;
+  const std::uint64_t in_flight = started > finished ? started - finished : 0;
+  std::printf("throughput  : %.1f commits/s over %.1f s\n",
+              static_cast<double>(commits) / duration_s, duration_s);
+  std::printf("commits     : %llu (aborts %llu, attempts started %llu, "
+              "in flight at stop %llu)\n",
+              static_cast<unsigned long long>(commits),
+              static_cast<unsigned long long>(aborts),
+              static_cast<unsigned long long>(started),
+              static_cast<unsigned long long>(in_flight));
+  std::printf("latency     : mean %.4f s, p50 %.4f, p90 %.4f, p99 %.4f\n",
+              commits > 0
+                  ? response_weighted / static_cast<double>(commits)
+                  : 0.0,
+              histogram.Quantile(0.50), histogram.Quantile(0.90),
+              histogram.Quantile(0.99));
+  std::printf("messages    : %llu sent\n",
+              static_cast<unsigned long long>(messages));
+
+  bool ok = true;
+  if (commits == 0) {
+    std::printf("FAIL: no transactions committed\n");
+    ok = false;
+  }
+  if (lost != 0) {
+    std::printf("FAIL: %llu transactions lost\n",
+                static_cast<unsigned long long>(lost));
+    ok = false;
+  }
+  // Window conservation: started + in_flight(start) == finished +
+  // in_flight(end), both in-flight terms bounded by the driven population
+  // (the warmup reset can leave the window's start imbalance non-zero).
+  const std::uint64_t slack = static_cast<std::uint64_t>(driven);
+  if (started > finished + slack || finished > started + slack) {
+    std::printf("FAIL: conservation violated (started %llu, finished %llu, "
+                "clients %d)\n",
+                static_cast<unsigned long long>(started),
+                static_cast<unsigned long long>(finished), driven);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

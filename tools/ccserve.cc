@@ -1,0 +1,218 @@
+// ccserve — a real page server: the simulator's server::Server (buffer
+// pool, lock manager, log, page directory, and any of the five consistency
+// protocols) hosted on real threads, serving the wire protocol over TCP.
+//
+//   $ ccserve --algorithm=callback --clients=16 --port=7411
+//   $ ccserve --algorithm=cert --clients=8 --port=0 --port-file=/tmp/port
+//
+// Clients are ccload processes (or in-process shards). The server runs
+// until SIGINT/SIGTERM or --duration elapses, then prints a summary and
+// exits 0 on a clean shutdown.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <limits>
+#include <string>
+#include <thread>
+
+#include "config/params.h"
+#include "sim/time.h"
+#include "substrate/node.h"
+#include "substrate/tcp.h"
+
+namespace {
+
+using ccsim::config::Algorithm;
+using ccsim::config::CachingMode;
+using ccsim::config::ExperimentConfig;
+
+struct AlgorithmChoice {
+  const char* name;
+  Algorithm algorithm;
+  CachingMode caching;
+};
+
+const AlgorithmChoice kAlgorithms[] = {
+    {"2pl", Algorithm::kTwoPhaseLocking, CachingMode::kInterTransaction},
+    {"2pl-intra", Algorithm::kTwoPhaseLocking,
+     CachingMode::kIntraTransaction},
+    {"cert", Algorithm::kCertification, CachingMode::kInterTransaction},
+    {"cert-intra", Algorithm::kCertification,
+     CachingMode::kIntraTransaction},
+    {"callback", Algorithm::kCallbackLocking,
+     CachingMode::kInterTransaction},
+    {"no-wait", Algorithm::kNoWaitLocking, CachingMode::kInterTransaction},
+    {"no-wait-notify", Algorithm::kNoWaitNotify,
+     CachingMode::kInterTransaction},
+};
+
+void PrintUsage() {
+  std::printf(
+      "ccserve — real TCP page server for the five consistency protocols\n\n"
+      "  --algorithm=NAME      2pl | 2pl-intra | cert | cert-intra |\n"
+      "                        callback | no-wait | no-wait-notify\n"
+      "  --clients=N           total client population the load generators\n"
+      "                        will present (must match ccload --clients)\n"
+      "  --port=N              TCP port (0 = ephemeral; printed at start)\n"
+      "  --port-file=PATH      write the bound port to PATH (scripting)\n"
+      "  --buffer-pages=N      server buffer pool size\n"
+      "  --mpl=N               server multiprogramming level\n"
+      "  --seed=N              RNG seed (must match ccload --seed)\n"
+      "  --duration=S          exit after S wall seconds (default: run\n"
+      "                        until SIGINT/SIGTERM)\n"
+      "  --check               run the consistency oracle on every commit\n"
+      "  --help                this text\n");
+}
+
+bool ParseValue(const char* arg, const char* name, std::string* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') {
+    return false;
+  }
+  *out = arg + len + 1;
+  return true;
+}
+
+volatile std::sig_atomic_t g_signal = 0;
+void OnSignal(int sig) { g_signal = sig; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ExperimentConfig cfg = ccsim::config::BaseConfig();
+  cfg.system.num_clients = 10;
+  std::string algorithm_name = "2pl";
+  std::string port_file;
+  int port = 0;
+  double duration_s = 0.0;  // 0 = until signal
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    std::string value;
+    if (std::strcmp(arg, "--help") == 0) {
+      PrintUsage();
+      return 0;
+    }
+    if (std::strcmp(arg, "--check") == 0) {
+      cfg.checker.enabled = true;
+    } else if (ParseValue(arg, "--algorithm", &value)) {
+      algorithm_name = value;
+    } else if (ParseValue(arg, "--clients", &value)) {
+      cfg.system.num_clients = std::atoi(value.c_str());
+    } else if (ParseValue(arg, "--port", &value)) {
+      port = std::atoi(value.c_str());
+    } else if (ParseValue(arg, "--port-file", &value)) {
+      port_file = value;
+    } else if (ParseValue(arg, "--buffer-pages", &value)) {
+      cfg.system.server_buffer_pages = std::atoi(value.c_str());
+    } else if (ParseValue(arg, "--mpl", &value)) {
+      cfg.system.mpl = std::atoi(value.c_str());
+    } else if (ParseValue(arg, "--seed", &value)) {
+      cfg.control.seed = static_cast<std::uint64_t>(
+          std::strtoull(value.c_str(), nullptr, 10));
+    } else if (ParseValue(arg, "--duration", &value)) {
+      duration_s = std::atof(value.c_str());
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg);
+      return 2;
+    }
+  }
+
+  bool found = false;
+  for (const AlgorithmChoice& choice : kAlgorithms) {
+    if (algorithm_name == choice.name) {
+      cfg.algorithm.algorithm = choice.algorithm;
+      cfg.algorithm.caching = choice.caching;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "unknown algorithm '%s'\n", algorithm_name.c_str());
+    return 2;
+  }
+  cfg = ccsim::substrate::RawSpeedConfig(cfg);
+  if (const ccsim::Status status = cfg.Validate(); !status.ok()) {
+    std::fprintf(stderr, "invalid configuration: %s\n",
+                 status.ToString().c_str());
+    return 2;
+  }
+
+  ccsim::substrate::ServerNode node(cfg, cfg.control.seed);
+  std::string error;
+  auto transport = ccsim::substrate::TcpServerTransport::Listen(
+      port, ccsim::substrate::MakeHello(cfg), &node.substrate(), &error);
+  if (transport == nullptr) {
+    std::fprintf(stderr, "listen failed: %s\n", error.c_str());
+    return 1;
+  }
+  node.network().set_transport(transport.get());
+  node.Start();
+
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%d\n", transport->port());
+    std::fclose(f);
+  }
+  std::printf("ccserve: %s, %d clients, port %d%s\n", algorithm_name.c_str(),
+              cfg.system.num_clients, transport->port(),
+              cfg.checker.enabled ? ", oracle on" : "");
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  std::uint64_t events = 0;
+  std::thread loop([&node, &events] {
+    events = node.RunLoop(std::numeric_limits<ccsim::sim::Ticks>::max() / 4);
+  });
+  // Signal handlers cannot touch the substrate's condition variable, so a
+  // watcher polls the flag (and the optional wall deadline) at 50 ms.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(duration_s));
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (g_signal != 0 ||
+        (duration_s > 0 && std::chrono::steady_clock::now() >= deadline)) {
+      break;
+    }
+  }
+  node.substrate().Stop();
+  loop.join();
+  transport->Close();
+  node.FinalizeChecker();
+
+  std::printf(
+      "ccserve: clean shutdown — %llu events, %llu frames in, "
+      "%llu connections, %llu unroutable drops\n",
+      static_cast<unsigned long long>(events),
+      static_cast<unsigned long long>(transport->frames_received()),
+      static_cast<unsigned long long>(transport->connections_accepted()),
+      static_cast<unsigned long long>(transport->unroutable_drops()));
+  std::printf(
+      "ccserve: commits logged %llu, buffer hit %.2f, writebacks %llu, "
+      "deadlocks %llu, shed %llu\n",
+      static_cast<unsigned long long>(node.server().log().commits_logged()),
+      node.server().pool().HitRatio(),
+      static_cast<unsigned long long>(node.server().pool().writebacks()),
+      static_cast<unsigned long long>(
+          node.server().locks().deadlocks_detected()),
+      static_cast<unsigned long long>(node.metrics().shed_requests()));
+  if (node.checker() != nullptr) {
+    std::printf("ccserve: oracle clean — %llu commits checked, %llu edges\n",
+                static_cast<unsigned long long>(
+                    node.checker()->oracle().commits_observed()),
+                static_cast<unsigned long long>(
+                    node.checker()->oracle().edges()));
+  }
+  return 0;
+}

@@ -17,6 +17,7 @@
 
 #include "config/params.h"
 #include "runner/experiment.h"
+#include "runner/real_experiment.h"
 #include "runner/report.h"
 #include "runner/sweep.h"
 #include "sim/random.h"
@@ -90,6 +91,14 @@ void PrintUsage() {
       "                          bility + coherence audits; aborts with a\n"
       "                          cycle dump on a violation)\n"
       "  --rpc-timeout-ms=D --lease-ms=D --idle-timeout-ms=D\n"
+      "  --substrate=NAME        sim (default: deterministic discrete-event\n"
+      "                          simulation) | real (threads + TCP loopback,\n"
+      "                          wall-clock paced; rejects sim-only flags\n"
+      "                          such as fault injection)\n"
+      "  --duration=S            real-substrate measurement window in wall\n"
+      "                          seconds (default 5)\n"
+      "  --shards=N              real-substrate load-generator threads\n"
+      "                          (default: 1 per 8 clients, at least 2)\n"
       "  --sweep-clients=LIST    run once per client count (e.g. 2,10,30,50)\n"
       "                          and print one CSV row per run\n"
       "  --jobs=N                worker threads for --sweep-clients\n"
@@ -363,6 +372,9 @@ int main(int argc, char** argv) {
   int chaos_soak = 0;
   std::vector<int> sweep_clients;
   std::string algorithm_name = "2pl";
+  std::string substrate_name = "sim";
+  bool warmup_flag = false;
+  ccsim::runner::RealRunOptions real_options;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -429,6 +441,17 @@ int main(int argc, char** argv) {
           std::strtoull(value.c_str(), nullptr, 10));
     } else if (ParseValue(arg, "--warmup", &value)) {
       cfg.control.warmup_seconds = std::atof(value.c_str());
+      warmup_flag = true;
+    } else if (ParseValue(arg, "--substrate", &value)) {
+      substrate_name = value;
+      if (substrate_name != "sim" && substrate_name != "real") {
+        std::fprintf(stderr, "--substrate wants sim or real\n");
+        return 2;
+      }
+    } else if (ParseValue(arg, "--duration", &value)) {
+      real_options.duration_seconds = std::atof(value.c_str());
+    } else if (ParseValue(arg, "--shards", &value)) {
+      real_options.shards = std::atoi(value.c_str());
     } else if (ParseValue(arg, "--commits", &value)) {
       cfg.control.target_commits = static_cast<std::uint64_t>(
           std::strtoull(value.c_str(), nullptr, 10));
@@ -565,6 +588,20 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const bool real_substrate = substrate_name == "real";
+  if (real_substrate) {
+    if (chaos_soak > 0 || !sweep_clients.empty()) {
+      std::fprintf(stderr,
+                   "--substrate=real runs one experiment at a time (no "
+                   "--chaos-soak / --sweep-clients)\n");
+      return 2;
+    }
+    // The sim default of 30 warmup seconds is simulated time; at wall-clock
+    // pace it would just be a long wait. Default to 1 s unless asked.
+    real_options.warmup_seconds = warmup_flag ? cfg.control.warmup_seconds
+                                              : 1.0;
+  }
+
   if (chaos_soak > 0) {
     return RunChaosSoak(chaos_soak, cfg.control.seed, jobs);
   }
@@ -597,7 +634,9 @@ int main(int argc, char** argv) {
     return any_stalled ? 3 : 0;
   }
 
-  const ccsim::Result<RunResult> result = ccsim::runner::RunExperiment(cfg);
+  const ccsim::Result<RunResult> result =
+      real_substrate ? ccsim::runner::RunRealExperiment(cfg, real_options)
+                     : ccsim::runner::RunExperiment(cfg);
   if (!result.ok()) {
     std::fprintf(stderr, "invalid configuration: %s\n",
                  result.status().ToString().c_str());
@@ -612,11 +651,21 @@ int main(int argc, char** argv) {
   }
 
   std::printf("algorithm          : %s\n", algorithm_name.c_str());
+  std::printf("substrate          : %s\n",
+              real_substrate ? "real (threads + TCP loopback)"
+                             : "sim (discrete-event)");
   std::printf("clients            : %d\n", cfg.system.num_clients);
-  std::printf("measured           : %.1f sim-seconds%s\n",
-              r.measured_seconds, r.stalled ? "  [STALLED]" : "");
+  std::printf("measured           : %.1f %s-seconds%s\n", r.measured_seconds,
+              real_substrate ? "wall" : "sim",
+              r.stalled ? "  [STALLED]" : "");
+  std::printf("wall clock         : %.2f s (%llu events, %.2fM events/s)\n",
+              r.wall_seconds,
+              static_cast<unsigned long long>(r.events_processed),
+              r.events_per_second / 1e6);
   std::printf("mean response      : %.3f s (+/- %.3f)\n", r.mean_response_s,
               r.response_ci_s);
+  std::printf("percentiles        : p50 %.4f s, p90 %.4f s, p99 %.4f s\n",
+              r.response_p50_s, r.response_p90_s, r.response_p99_s);
   std::printf("throughput         : %.2f commits/s\n", r.throughput_tps);
   std::printf("commits / aborts   : %llu / %llu (deadlock %llu, stale "
               "%llu, cert %llu)\n",
@@ -625,6 +674,17 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.deadlock_aborts),
               static_cast<unsigned long long>(r.stale_aborts),
               static_cast<unsigned long long>(r.cert_aborts));
+  if (real_substrate) {
+    const std::uint64_t finished = r.commits + r.aborts;
+    std::printf("conservation       : %llu attempts started, %llu in flight "
+                "at stop, %llu lost\n",
+                static_cast<unsigned long long>(r.attempts_started),
+                static_cast<unsigned long long>(
+                    r.attempts_started > finished ? r.attempts_started -
+                                                        finished
+                                                  : 0),
+                static_cast<unsigned long long>(r.transactions_lost));
+  }
   std::printf("utilization        : server %.2f, net %.2f, disks %.2f, "
               "clients %.2f\n",
               r.server_cpu_util, r.network_util, r.data_disk_util,

@@ -11,7 +11,11 @@
 #   5. a bounded chaos soak (fixed seeds, 3 compound-fault cocktails across
 #      all five protocols) under the same sanitizer, always with --check so
 #      the pipelined verifier rides every soak run,
-#   6. a checker-overhead budget gate: the tracked BENCH_kernel.json must
+#   6. a real-substrate loopback smoke: ccserve is started (oracle on) and
+#      driven by ccload for each of the five protocols; a lost transaction,
+#      a conservation violation, zero commits, or an unclean server
+#      shutdown fails the leg,
+#   7. a checker-overhead budget gate: the tracked BENCH_kernel.json must
 #      record on_overhead_pct <= CCSIM_CI_CHECKER_BUDGET (default 12) — the
 #      price of the always-on verifier is a CI-enforced contract, not a
 #      hope.
@@ -21,6 +25,8 @@
 #   CCSIM_CI_SANITIZE   sanitizer for the build: asan (default), tsan, OFF
 #   CCSIM_CI_JOBS       parallelism (default: nproc)
 #   CCSIM_CI_CHECKER_BUDGET  max allowed checker-on overhead percent (12)
+#   CCSIM_CI_SMOKE_SECS  measured seconds per protocol in the loopback
+#                        smoke (default 5; ~30 s wall across all five)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -28,6 +34,7 @@ build_dir="${1:-$repo_root/build-ci}"
 sanitize="${CCSIM_CI_SANITIZE:-asan}"
 jobs="${CCSIM_CI_JOBS:-$(nproc)}"
 checker_budget="${CCSIM_CI_CHECKER_BUDGET:-12}"
+smoke_secs="${CCSIM_CI_SMOKE_SECS:-5}"
 
 step() { echo; echo "=== $* ==="; }
 
@@ -53,6 +60,33 @@ ctest -R "Determinism" --output-on-failure -j"$jobs"
 
 step "bounded chaos soak (3 fixed seeds x 5 protocols, oracle on)"
 "$build_dir"/tools/ccsim_run --chaos-soak=3 --seed=1 --jobs="$jobs" --check
+
+step "ccserve/ccload loopback smoke (5 protocols x ${smoke_secs}s, oracle on)"
+# One fresh server per protocol: a poisoned server state from one run must
+# not be able to mask (or cause) a failure in the next. ccload exits
+# non-zero on zero commits, lost transactions, or a conservation
+# violation; ccserve exits non-zero on an unclean shutdown; set -e
+# propagates both.
+for algo in 2pl cert callback no-wait no-wait-notify; do
+  port_file="$build_dir/ccserve.$algo.port"
+  rm -f "$port_file"
+  "$build_dir"/tools/ccserve --algorithm="$algo" --clients=8 --port=0 \
+      --port-file="$port_file" --check --duration=$((smoke_secs + 60)) &
+  serve_pid=$!
+  for _ in $(seq 100); do
+    [[ -s "$port_file" ]] && break
+    sleep 0.1
+  done
+  if [[ ! -s "$port_file" ]]; then
+    echo "FAIL: ccserve ($algo) never wrote its port"
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+  fi
+  "$build_dir"/tools/ccload --port-file="$port_file" --algorithm="$algo" \
+      --clients=8 --duration="$smoke_secs" --warmup=1
+  kill -TERM "$serve_pid" 2>/dev/null || true
+  wait "$serve_pid"
+done
 
 step "checker-overhead budget (<= ${checker_budget}%)"
 python3 - "$repo_root/BENCH_kernel.json" "$checker_budget" <<'PYEOF'
