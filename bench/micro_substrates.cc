@@ -5,16 +5,20 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <vector>
 
 #include "lock/lock_manager.h"
+#include "net/message.h"
 #include "sim/event.h"
 #include "sim/process.h"
 #include "sim/random.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
 #include "sim/task.h"
+#include "substrate/wire.h"
 #include "util/lru.h"
+#include "util/spsc_ring.h"
 
 namespace ccsim {
 namespace {
@@ -130,6 +134,108 @@ void BM_Pcg32Exponential(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_Pcg32Exponential);
+
+/// A typical protocol message: a lock-reply-sized header plus short page
+/// and version lists (no page image).
+net::Message TypicalControlMessage() {
+  net::Message msg;
+  msg.type = net::MsgType::kReadReply;
+  msg.src = net::kServerNode;
+  msg.dst = 7;
+  msg.xact = 1234567;
+  msg.request_id = 89;
+  msg.seq = 4242;
+  for (int i = 0; i < 4; ++i) {
+    msg.pages.push_back(100 + i);
+    msg.versions.push_back(1000 + i);
+  }
+  return msg;
+}
+
+/// The wire codec round trip on the real-substrate hot path: encode into a
+/// reused FrameBuffer, split, and decode into a reused Message. Steady
+/// state must be allocation-free (see perf_smoke_test), so items/s here is
+/// pure compute.
+void BM_WireEncodeDecode(benchmark::State& state) {
+  const net::Message msg = TypicalControlMessage();
+  std::vector<std::uint8_t> frame;
+  substrate::EncodeMessage(msg, 0, &frame);
+  net::Message decoded;
+  std::string error;
+  for (auto _ : state) {
+    frame.clear();
+    substrate::EncodeMessage(msg, 0, &frame);
+    const bool ok = substrate::DecodeMessage(frame.data() + 4,
+                                             frame.size() - 4, 0, &decoded,
+                                             &error);
+    benchmark::DoNotOptimize(ok);
+    benchmark::DoNotOptimize(decoded.seq);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WireEncodeDecode);
+
+/// Batched outbound encode: N messages appended into one FrameBuffer (the
+/// per-flush cost is one sendmsg, excluded here).
+void BM_FrameBufferAppend(benchmark::State& state) {
+  const net::Message msg = TypicalControlMessage();
+  substrate::FrameBuffer buffer;
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    buffer.Clear();
+    for (int i = 0; i < batch; ++i) {
+      buffer.AppendMessage(msg, 0);
+    }
+    benchmark::DoNotOptimize(buffer.frames_queued());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_FrameBufferAppend)->Arg(16)->Arg(256);
+
+/// Batched inbound split+decode: a chunk of back-to-back frames (as one
+/// recv would deliver them) peeled and decoded message by message.
+void BM_FrameSplitterDecode(benchmark::State& state) {
+  const net::Message msg = TypicalControlMessage();
+  std::vector<std::uint8_t> chunk;
+  const int batch = static_cast<int>(state.range(0));
+  for (int i = 0; i < batch; ++i) {
+    substrate::EncodeMessage(msg, 0, &chunk);
+  }
+  substrate::FrameSplitter splitter;
+  net::Message decoded;
+  std::string error;
+  for (auto _ : state) {
+    std::uint8_t* dst = splitter.WritableData(chunk.size());
+    std::memcpy(dst, chunk.data(), chunk.size());
+    splitter.CommitBytes(chunk.size());
+    const std::uint8_t* body = nullptr;
+    std::uint32_t len = 0;
+    while (splitter.NextFrame(&body, &len) ==
+           substrate::FrameSplitter::Next::kFrame) {
+      substrate::DecodeMessage(body, len, 0, &decoded, &error);
+      benchmark::DoNotOptimize(decoded.seq);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_FrameSplitterDecode)->Arg(16)->Arg(256);
+
+/// The inbound channel's ring: single-threaded reserve/publish/pop cost
+/// (the cross-thread cache bounce is the workload's problem, not the
+/// ring's).
+void BM_SpscRingPushPop(benchmark::State& state) {
+  util::SpscRing<net::Message> ring(1024);
+  const net::Message msg = TypicalControlMessage();
+  for (auto _ : state) {
+    net::Message* slot = ring.TryReserve();
+    *slot = msg;
+    ring.Publish();
+    benchmark::DoNotOptimize(ring.Front().seq);
+    ring.Pop();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpscRingPushPop);
 
 }  // namespace
 }  // namespace ccsim

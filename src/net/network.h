@@ -23,8 +23,14 @@ class Transport {
  public:
   virtual ~Transport() = default;
   /// Ships `msg` toward msg.dst. Called on the owning node's event-loop
-  /// thread only; implementations may write to sockets directly.
+  /// thread only; implementations may buffer and batch — delivery is
+  /// guaranteed only after the next Flush().
   virtual void Deliver(const Message& msg) = 0;
+  /// Pushes any batched outbound messages to the wire. Called on the
+  /// owning node's event-loop thread at calendar-step boundaries (the
+  /// substrate's flush hook). Returns true once nothing remains buffered;
+  /// false asks the caller to flush again soon (socket backpressure).
+  virtual bool Flush() { return true; }
 };
 
 /// The network manager (paper §3.3.1). Messages are split into packets;

@@ -80,6 +80,10 @@ Result<RunResult> RunRealExperiment(config::ExperimentConfig config,
     return Status::Internal("real substrate: " + error);
   }
   server_node.network().set_transport(server_transport.get());
+  // Outbound frames batch per connection; the loop flushes them at each
+  // calendar-step boundary.
+  substrate::TcpServerTransport* st = server_transport.get();
+  server_node.substrate().set_flush_hook([st] { return st->Flush(); });
   server_node.Start();
   std::uint64_t server_events = 0;
   std::thread server_thread([&server_node, &server_events] {
@@ -112,6 +116,8 @@ Result<RunResult> RunRealExperiment(config::ExperimentConfig config,
       return Status::Internal("real substrate: " + error);
     }
     shard->network().set_transport(transport.get());
+    substrate::TcpClientTransport* ct = transport.get();
+    shard->substrate().set_flush_hook([ct] { return ct->Flush(); });
     shard->Start();
     shard_nodes.push_back(std::move(shard));
     transports.push_back(std::move(transport));

@@ -1,6 +1,7 @@
 #include "substrate/tcp.h"
 
 #include <arpa/inet.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -15,6 +16,10 @@
 
 namespace ccsim::substrate {
 namespace {
+
+/// Bytes asked of each recv(): big enough that a busy socket yields
+/// dozens of frames per syscall.
+constexpr std::size_t kReadChunk = 128 * 1024;
 
 /// recv() exactly `len` bytes (retrying short reads and EINTR). Returns
 /// false on EOF or a hard error.
@@ -45,12 +50,27 @@ ScopedFd NewTcpSocket(std::string* error) {
   return ScopedFd(fd);
 }
 
+/// Resolves an IPv4 literal or hostname (getaddrinfo), so ccload/ccserve
+/// can cross real hosts, not just loopback.
 bool ResolveV4(const std::string& host, in_addr* out) {
   if (host.empty() || host == "localhost") {
     out->s_addr = htonl(INADDR_LOOPBACK);
     return true;
   }
-  return ::inet_pton(AF_INET, host.c_str(), out) == 1;
+  if (::inet_pton(AF_INET, host.c_str(), out) == 1) {
+    return true;
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (::getaddrinfo(host.c_str(), nullptr, &hints, &res) != 0 ||
+      res == nullptr) {
+    return false;
+  }
+  *out = reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+  ::freeaddrinfo(res);
+  return true;
 }
 
 /// Exchange validation shared by both ends: the per-run parameters both
@@ -87,6 +107,63 @@ bool ReadHello(Connection* conn, Hello* hello, std::string* error) {
   return DecodeHello(body.data(), body.size(), hello, error);
 }
 
+/// The post-handshake reader: recv() a chunk, peel every complete frame
+/// out of it, and decode each one directly into an InboundChannel slot.
+/// One frame costs ~1/N of a syscall and zero allocations. Returns when
+/// the peer hangs up, the stream corrupts, or the channel closes.
+void BatchedReadLoop(Connection* conn, InboundChannel* channel,
+                     std::uint32_t page_payload_bytes,
+                     std::atomic<std::uint64_t>* frames_received,
+                     const char* who) {
+  FrameSplitter splitter;
+  std::string error;
+  for (;;) {
+    std::uint8_t* dst = splitter.WritableData(kReadChunk);
+    const ssize_t n = ::recv(conn->fd(), dst, splitter.writable_size(), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return;  // EOF, shutdown, or hard error
+    }
+    splitter.CommitBytes(static_cast<std::size_t>(n));
+    std::uint64_t batch = 0;
+    const std::uint8_t* body = nullptr;
+    std::uint32_t len = 0;
+    FrameSplitter::Next state;
+    while ((state = splitter.NextFrame(&body, &len)) ==
+           FrameSplitter::Next::kFrame) {
+      net::Message* slot = channel->BeginPush();
+      if (slot == nullptr) {
+        // Transport closing or substrate stopping: stop consuming.
+        if (batch > 0) {
+          frames_received->fetch_add(batch, std::memory_order_relaxed);
+        }
+        return;
+      }
+      if (!DecodeMessage(body, len, page_payload_bytes, slot,
+                               &error)) {
+        std::fprintf(stderr, "%s: dropping connection: %s\n", who,
+                     error.c_str());
+        if (batch > 0) {
+          frames_received->fetch_add(batch, std::memory_order_relaxed);
+        }
+        return;
+      }
+      channel->CommitPush();
+      ++batch;
+    }
+    if (batch > 0) {
+      frames_received->fetch_add(batch, std::memory_order_relaxed);
+    }
+    if (state == FrameSplitter::Next::kBad) {
+      std::fprintf(stderr, "%s: dropping connection: oversized frame\n",
+                   who);
+      return;
+    }
+  }
+}
+
 }  // namespace
 
 void ScopedFd::Reset() {
@@ -120,19 +197,33 @@ bool Connection::WriteAll(const std::uint8_t* data, std::size_t len) {
   return true;
 }
 
-bool Connection::SendMessage(const net::Message& msg,
-                             std::uint32_t page_payload_bytes) {
-  std::lock_guard<std::mutex> lock(write_mu_);
+bool Connection::QueueMessage(const net::Message& msg,
+                              std::uint32_t page_payload_bytes) {
   if (dead_.load(std::memory_order_relaxed)) {
     return false;
   }
-  write_scratch_.clear();
-  EncodeMessage(msg, page_payload_bytes, &write_scratch_);
-  return WriteAll(write_scratch_.data(), write_scratch_.size());
+  if (buffer_.pending_bytes() > kMaxBufferedBytes) {
+    dead_.store(true, std::memory_order_relaxed);
+    buffer_.Clear();
+    return false;
+  }
+  buffer_.AppendMessage(msg, page_payload_bytes);
+  return true;
+}
+
+FrameBuffer::FlushResult Connection::Flush() {
+  if (dead_.load(std::memory_order_relaxed)) {
+    buffer_.Clear();
+    return FrameBuffer::FlushResult::kError;
+  }
+  const FrameBuffer::FlushResult result = buffer_.Flush(fd_.get());
+  if (result == FrameBuffer::FlushResult::kError) {
+    dead_.store(true, std::memory_order_relaxed);
+  }
+  return result;
 }
 
 bool Connection::SendRaw(const std::vector<std::uint8_t>& bytes) {
-  std::lock_guard<std::mutex> lock(write_mu_);
   if (dead_.load(std::memory_order_relaxed)) {
     return false;
   }
@@ -169,7 +260,7 @@ std::unique_ptr<TcpClientTransport> TcpClientTransport::Connect(
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
   if (!ResolveV4(host, &addr.sin_addr)) {
-    *error = "cannot parse host '" + host + "' (use an IPv4 address)";
+    *error = "cannot resolve host '" + host + "'";
     return nullptr;
   }
   if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
@@ -200,30 +291,32 @@ TcpClientTransport::TcpClientTransport(std::unique_ptr<Connection> conn,
                                        RealtimeSubstrate* substrate,
                                        std::uint32_t page_payload_bytes)
     : conn_(std::move(conn)), substrate_(substrate),
+      channel_(substrate->OpenChannel()),
       page_payload_bytes_(page_payload_bytes) {
   Connection* c = conn_.get();
-  reader_ = std::thread([this, c] {
-    std::vector<std::uint8_t> body;
-    net::Message msg;
-    std::string error;
-    while (c->ReadFrame(&body)) {
-      if (!DecodeMessage(body.data(), body.size(), page_payload_bytes_, &msg,
-                         &error)) {
-        break;
-      }
-      frames_received_.fetch_add(1, std::memory_order_relaxed);
-      substrate_->PostMessage(msg);
-    }
+  InboundChannel* ch = channel_.get();
+  reader_ = std::thread([this, c, ch] {
+    BatchedReadLoop(c, ch, page_payload_bytes_, &frames_received_,
+                    "ccload");
+    ch->Close();
   });
 }
 
 TcpClientTransport::~TcpClientTransport() { Close(); }
 
 void TcpClientTransport::Deliver(const net::Message& msg) {
-  conn_->SendMessage(msg, page_payload_bytes_);
+  conn_->QueueMessage(msg, page_payload_bytes_);
+}
+
+bool TcpClientTransport::Flush() {
+  if (!conn_->has_pending()) {
+    return true;
+  }
+  return conn_->Flush() != FrameBuffer::FlushResult::kAgain;
 }
 
 void TcpClientTransport::Close() {
+  channel_->Close();  // unblock a reader stalled on a full ring
   conn_->Shutdown();
   if (reader_.joinable()) {
     reader_.join();
@@ -234,7 +327,7 @@ void TcpClientTransport::Close() {
 
 std::unique_ptr<TcpServerTransport> TcpServerTransport::Listen(
     int port, const Hello& hello, RealtimeSubstrate* substrate,
-    std::string* error) {
+    std::string* error, const std::string& bind_host) {
   ScopedFd fd = NewTcpSocket(error);
   if (!fd.valid()) {
     return nullptr;
@@ -243,7 +336,12 @@ std::unique_ptr<TcpServerTransport> TcpServerTransport::Listen(
   ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  if (bind_host.empty()) {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (!ResolveV4(bind_host, &addr.sin_addr)) {
+    *error = "cannot resolve bind address '" + bind_host + "'";
+    return nullptr;
+  }
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
   if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
       0) {
@@ -270,6 +368,7 @@ TcpServerTransport::TcpServerTransport(ScopedFd listen_fd, int port,
                                        RealtimeSubstrate* substrate)
     : listen_fd_(std::move(listen_fd)), port_(port), hello_(hello),
       substrate_(substrate) {
+  routes_.resize(hello_.num_clients > 0 ? hello_.num_clients : 0);
   acceptor_ = std::thread([this] { AcceptLoop(); });
 }
 
@@ -319,12 +418,20 @@ void TcpServerTransport::ReadLoop(std::shared_ptr<Connection> conn) {
     conn->Shutdown();
     return;
   }
+  conn->set_peer(client_hello);
+  // Complete the handshake before publishing routes: once the route is
+  // visible the loop thread may write to this connection, and nothing may
+  // precede the Hello reply on the wire.
+  std::vector<std::uint8_t> frame;
+  EncodeHello(hello_, &frame);
+  if (!conn->SendRaw(frame)) {
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (int id = client_hello.client_lo; id < client_hello.client_hi;
          ++id) {
-      auto it = routes_.find(id);
-      if (it != routes_.end() && !it->second->dead()) {
+      if (routes_[id] != nullptr && !routes_[id]->dead()) {
         std::fprintf(stderr,
                      "ccserve: rejected connection: client id %d already "
                      "connected\n",
@@ -338,31 +445,16 @@ void TcpServerTransport::ReadLoop(std::shared_ptr<Connection> conn) {
       routes_[id] = conn;
     }
   }
-  conn->set_peer(client_hello);
-  std::vector<std::uint8_t> frame;
-  EncodeHello(hello_, &frame);
-  if (!conn->SendRaw(frame)) {
-    return;
-  }
   connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-  std::vector<std::uint8_t> body;
-  net::Message msg;
-  while (conn->ReadFrame(&body)) {
-    if (!DecodeMessage(body.data(), body.size(), hello_.page_payload_bytes,
-                       &msg, &error)) {
-      std::fprintf(stderr, "ccserve: dropping connection: %s\n",
-                   error.c_str());
-      break;
-    }
-    frames_received_.fetch_add(1, std::memory_order_relaxed);
-    substrate_->PostMessage(msg);
-  }
+  std::shared_ptr<InboundChannel> channel = substrate_->OpenChannel();
+  BatchedReadLoop(conn.get(), channel.get(), hello_.page_payload_bytes,
+                  &frames_received_, "ccserve");
+  channel->Close();
   conn->Shutdown();
   std::lock_guard<std::mutex> lock(mu_);
   for (int id = client_hello.client_lo; id < client_hello.client_hi; ++id) {
-    auto it = routes_.find(id);
-    if (it != routes_.end() && it->second == conn) {
-      routes_.erase(it);
+    if (routes_[id] == conn) {
+      routes_[id].reset();
     }
   }
 }
@@ -371,17 +463,36 @@ void TcpServerTransport::Deliver(const net::Message& msg) {
   std::shared_ptr<Connection> conn;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = routes_.find(msg.dst);
-    if (it != routes_.end()) {
-      conn = it->second;
+    if (msg.dst >= 0 &&
+        msg.dst < static_cast<int>(routes_.size())) {
+      conn = routes_[msg.dst];
     }
   }
+  const bool was_pending = conn != nullptr && conn->has_pending();
   if (conn == nullptr ||
-      !conn->SendMessage(msg, hello_.page_payload_bytes)) {
+      !conn->QueueMessage(msg, hello_.page_payload_bytes)) {
     // The destination hung up (a finished or killed load run): the message
     // dies like mail to a crashed workstation.
     unroutable_drops_.fetch_add(1, std::memory_order_relaxed);
+    return;
   }
+  if (!was_pending) {
+    dirty_.push_back(std::move(conn));
+  }
+}
+
+bool TcpServerTransport::Flush() {
+  if (dirty_.empty()) {
+    return true;
+  }
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < dirty_.size(); ++i) {
+    if (dirty_[i]->Flush() == FrameBuffer::FlushResult::kAgain) {
+      dirty_[keep++] = std::move(dirty_[i]);
+    }
+  }
+  dirty_.resize(keep);
+  return dirty_.empty();
 }
 
 void TcpServerTransport::Close() {
@@ -415,6 +526,7 @@ void TcpServerTransport::Close() {
       t.join();
     }
   }
+  dirty_.clear();
 }
 
 }  // namespace ccsim::substrate

@@ -7,7 +7,6 @@
 #include <mutex>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "net/network.h"
@@ -49,25 +48,43 @@ class ScopedFd {
 };
 
 /// One framed TCP connection: a socket, its peer's Hello, and the
-/// read/write plumbing. Writes happen from whichever thread calls
-/// SendFrame (serialized by `write_mu_`); reads happen on the owner's
-/// reader thread via ReadFrame.
+/// read/write plumbing.
+///
+/// Threading: the handshake (SendRaw/ReadFrame, blocking) runs on a single
+/// thread before the connection is routed. Afterwards the hot path is
+/// split single-writer/single-reader — QueueMessage/Flush only from the
+/// substrate loop thread, recv only from the connection's reader thread —
+/// so no write lock is needed. Outbound messages batch into a FrameBuffer
+/// and reach the kernel in one vectored, non-blocking sendmsg per flush.
 class Connection {
  public:
+  /// Pending outbound bytes past this mark poison the connection: the
+  /// peer has stalled for so long it is treated as departed.
+  static constexpr std::size_t kMaxBufferedBytes = 64u * 1024u * 1024u;
+
   explicit Connection(ScopedFd fd) : fd_(std::move(fd)) {}
 
-  /// Encodes and writes one Message frame. Returns false once the peer is
-  /// gone (connection marked dead; further sends are dropped silently).
-  bool SendMessage(const net::Message& msg, std::uint32_t page_payload_bytes);
+  /// Encodes one Message frame into the outbound batch. Returns false
+  /// once the peer is gone (dead or hopelessly backlogged); the message
+  /// is dropped like mail to a crashed workstation.
+  bool QueueMessage(const net::Message& msg,
+                    std::uint32_t page_payload_bytes);
 
-  /// Writes a pre-encoded frame (used for the Hello).
+  /// Pushes the batch to the kernel without blocking. kAgain leaves the
+  /// remainder queued for the next flush; kError marks the peer dead.
+  FrameBuffer::FlushResult Flush();
+
+  bool has_pending() const { return buffer_.has_pending(); }
+
+  /// Writes a pre-encoded frame, blocking (handshake only).
   bool SendRaw(const std::vector<std::uint8_t>& bytes);
 
-  /// Blocking read of one length-prefixed frame body. Returns false on
-  /// EOF/error. `body` is reused across calls.
+  /// Blocking read of one length-prefixed frame body (handshake only).
+  /// Returns false on EOF/error. `body` is reused across calls.
   bool ReadFrame(std::vector<std::uint8_t>* body);
 
   void Shutdown() { fd_.ShutdownBoth(); }
+  int fd() const { return fd_.get(); }
   bool dead() const { return dead_.load(std::memory_order_relaxed); }
   const Hello& peer() const { return peer_; }
   void set_peer(const Hello& hello) { peer_ = hello; }
@@ -77,20 +94,22 @@ class Connection {
 
   ScopedFd fd_;
   Hello peer_{};
-  std::mutex write_mu_;
-  std::vector<std::uint8_t> write_scratch_;
+  FrameBuffer buffer_;
   std::atomic<bool> dead_{false};
 };
 
 /// Client side of the wire: one connection from a load-generator shard to
-/// the page server. Installed as the shard Network's Transport, it ships
-/// every outbound message over TCP; a reader thread posts inbound frames
-/// into the shard's RealtimeSubstrate.
+/// the page server. Installed as the shard Network's Transport, it queues
+/// every outbound message into the connection's frame batch (flushed at
+/// each calendar-step boundary via Flush()); a reader thread decodes
+/// inbound frames straight into an InboundChannel ring that the shard's
+/// RealtimeSubstrate drains in batches.
 class TcpClientTransport : public net::Transport {
  public:
   /// Connects, exchanges Hellos, and validates the server against `hello`
-  /// (algorithm, database size, client-id range). Returns nullptr with
-  /// `error` set on any failure.
+  /// (algorithm, database size, client-id range). `host` may be an IPv4
+  /// literal or a resolvable hostname. Returns nullptr with `error` set
+  /// on any failure.
   static std::unique_ptr<TcpClientTransport> Connect(
       const std::string& host, int port, const Hello& hello,
       RealtimeSubstrate* substrate, std::string* error);
@@ -99,6 +118,9 @@ class TcpClientTransport : public net::Transport {
 
   /// net::Transport: called on the shard loop thread.
   void Deliver(const net::Message& msg) override;
+
+  /// net::Transport: flushes the outbound batch (shard loop thread).
+  bool Flush() override;
 
   /// Closes the socket and joins the reader.
   void Close();
@@ -114,6 +136,7 @@ class TcpClientTransport : public net::Transport {
 
   std::unique_ptr<Connection> conn_;
   RealtimeSubstrate* substrate_;
+  std::shared_ptr<InboundChannel> channel_;
   std::uint32_t page_payload_bytes_;
   std::atomic<std::uint64_t> frames_received_{0};
   std::thread reader_;
@@ -121,24 +144,29 @@ class TcpClientTransport : public net::Transport {
 
 /// Server side of the wire: a listener plus one Connection per load shard.
 /// Installed as the server Network's Transport, it routes each outbound
-/// message to the connection whose Hello claimed the destination client
-/// id; inbound frames from every connection are posted into the server's
-/// RealtimeSubstrate. Connections come and go (ccload runs end while
-/// ccserve stays up): messages to a departed client are counted and
-/// dropped, exactly like a crashed workstation.
+/// message into the frame batch of the connection whose Hello claimed the
+/// destination client id (batches flushed per calendar step via Flush());
+/// each connection's reader thread decodes inbound frames into its own
+/// InboundChannel, so the server loop drains per-connection FIFO batches.
+/// Connections come and go (ccload runs end while ccserve stays up):
+/// messages to a departed client are counted and dropped, exactly like a
+/// crashed workstation.
 class TcpServerTransport : public net::Transport {
  public:
-  /// Binds and listens on `port` (0 = ephemeral). `hello` describes this
-  /// server and is used to validate every client. Returns nullptr with
-  /// `error` set on failure.
+  /// Binds `bind_host` (empty = all interfaces) and listens on `port`
+  /// (0 = ephemeral). `hello` describes this server and is used to
+  /// validate every client. Returns nullptr with `error` set on failure.
   static std::unique_ptr<TcpServerTransport> Listen(
       int port, const Hello& hello, RealtimeSubstrate* substrate,
-      std::string* error);
+      std::string* error, const std::string& bind_host = std::string());
 
   ~TcpServerTransport() override;
 
   /// net::Transport: called on the server loop thread.
   void Deliver(const net::Message& msg) override;
+
+  /// net::Transport: flushes every dirty connection (server loop thread).
+  bool Flush() override;
 
   /// Stops accepting, closes every connection, joins all threads.
   void Close();
@@ -170,10 +198,14 @@ class TcpServerTransport : public net::Transport {
 
   std::mutex mu_;
   bool closing_ = false;
-  /// client id -> the connection that registered it.
-  std::unordered_map<int, std::shared_ptr<Connection>> routes_;
+  /// client id -> the connection that registered it (indexed by id).
+  std::vector<std::shared_ptr<Connection>> routes_;
   std::vector<std::shared_ptr<Connection>> conns_;
   std::vector<std::thread> readers_;
+
+  /// Connections with queued outbound bytes, awaiting Flush(). Loop
+  /// thread only (Deliver and Flush share that thread).
+  std::vector<std::shared_ptr<Connection>> dirty_;
 
   std::atomic<std::uint64_t> frames_received_{0};
   std::atomic<std::uint64_t> unroutable_drops_{0};

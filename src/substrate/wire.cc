@@ -1,9 +1,17 @@
 #include "substrate/wire.h"
 
+#include <sys/socket.h>
+#include <sys/uio.h>
+
+#include <cerrno>
 #include <cstring>
 
 namespace ccsim::substrate {
 namespace {
+
+/// Shared zero block stitched into outbound iovecs for page payloads.
+constexpr std::size_t kZeroChunk = 64 * 1024;
+const std::uint8_t kZeroes[kZeroChunk] = {};
 
 void PutU8(std::uint8_t v, std::vector<std::uint8_t>* out) {
   out->push_back(v);
@@ -191,10 +199,15 @@ bool DecodeHello(const std::uint8_t* body, std::size_t len, Hello* out,
   return true;
 }
 
-void EncodeMessage(const net::Message& msg, std::uint32_t page_payload_bytes,
-                   std::vector<std::uint8_t>* out) {
+namespace {
+
+/// Encodes the length prefix (zeroed, patched later) and every control
+/// field of `msg` — header plus lists, everything but the page-image
+/// payload. Returns the offset of the length prefix.
+std::size_t EncodeMessageControl(const net::Message& msg,
+                                 std::vector<std::uint8_t>* out) {
   const std::size_t length_at = out->size();
-  PutU32(0, out);  // patched below
+  PutU32(0, out);  // patched by the caller
   PutU8(static_cast<std::uint8_t>(msg.type), out);
   PutI32(msg.src, out);
   PutI32(msg.dst, out);
@@ -216,6 +229,26 @@ void EncodeMessage(const net::Message& msg, std::uint32_t page_payload_bytes,
   PutPages(msg.updated_set, out);
   PutPages(msg.released_pages, out);
   PutPages(msg.evicted_pages, out);
+  return length_at;
+}
+
+/// Patches the length prefix at `length_at` to cover the control bytes
+/// appended after it plus `extra` payload bytes that follow separately.
+void PatchFrameLength(std::size_t length_at, std::size_t extra,
+                      std::vector<std::uint8_t>* out) {
+  const std::uint32_t body =
+      static_cast<std::uint32_t>(out->size() - length_at - 4 + extra);
+  (*out)[length_at] = static_cast<std::uint8_t>(body);
+  (*out)[length_at + 1] = static_cast<std::uint8_t>(body >> 8);
+  (*out)[length_at + 2] = static_cast<std::uint8_t>(body >> 16);
+  (*out)[length_at + 3] = static_cast<std::uint8_t>(body >> 24);
+}
+
+}  // namespace
+
+void EncodeMessage(const net::Message& msg, std::uint32_t page_payload_bytes,
+                   std::vector<std::uint8_t>* out) {
+  const std::size_t length_at = EncodeMessageControl(msg, out);
   // Page images: the model tracks versions rather than bytes, so the image
   // payload is zero-filled, but it is still shipped at full page size.
   out->resize(out->size() +
@@ -252,6 +285,175 @@ bool DecodeMessage(const std::uint8_t* body, std::size_t len,
     return false;
   }
   return true;
+}
+
+// --- FrameBuffer ----------------------------------------------------------
+
+void FrameBuffer::AppendMessage(const net::Message& msg,
+                                std::uint32_t page_payload_bytes) {
+  const std::size_t length_at = EncodeMessageControl(msg, &bytes_);
+  const std::size_t zero_len =
+      std::size_t{page_payload_bytes} * msg.data_pages.size();
+  PatchFrameLength(length_at, zero_len, &bytes_);
+  segments_.push_back(Segment{bytes_.size(), zero_len});
+  ++frames_queued_;
+}
+
+std::size_t FrameBuffer::pending_bytes() const {
+  if (!has_pending()) {
+    return 0;
+  }
+  std::size_t total = bytes_.size() - data_cursor_ +
+                      segments_[seg_].zero_len - zero_done_;
+  for (std::size_t s = seg_ + 1; s < segments_.size(); ++s) {
+    total += segments_[s].zero_len;
+  }
+  return total;
+}
+
+void FrameBuffer::Clear() {
+  bytes_.clear();
+  segments_.clear();
+  seg_ = 0;
+  data_cursor_ = 0;
+  zero_done_ = 0;
+  frames_queued_ = 0;
+}
+
+void FrameBuffer::Advance(std::size_t n) {
+  while (n > 0) {
+    const Segment& seg = segments_[seg_];
+    const std::size_t data_rem = seg.data_end - data_cursor_;
+    if (data_rem > 0) {
+      const std::size_t take = n < data_rem ? n : data_rem;
+      data_cursor_ += take;
+      n -= take;
+      continue;
+    }
+    const std::size_t zero_rem = seg.zero_len - zero_done_;
+    const std::size_t take = n < zero_rem ? n : zero_rem;
+    zero_done_ += take;
+    n -= take;
+    if (zero_done_ == seg.zero_len) {
+      ++seg_;
+      zero_done_ = 0;
+    }
+  }
+  // A segment fully drained by its data part alone still needs retiring.
+  while (seg_ < segments_.size() &&
+         data_cursor_ == segments_[seg_].data_end &&
+         zero_done_ == segments_[seg_].zero_len) {
+    ++seg_;
+    zero_done_ = 0;
+  }
+  if (seg_ == segments_.size()) {
+    Clear();
+  }
+}
+
+FrameBuffer::FlushResult FrameBuffer::Flush(int fd) {
+  constexpr std::size_t kMaxIov = 64;
+  while (has_pending()) {
+    iovec iov[kMaxIov];
+    std::size_t niov = 0;
+    std::size_t data_from = data_cursor_;
+    std::size_t zero_from = zero_done_;
+    for (std::size_t s = seg_; s < segments_.size() && niov < kMaxIov; ++s) {
+      const Segment& seg = segments_[s];
+      if (data_from < seg.data_end) {
+        std::uint8_t* base = bytes_.data() + data_from;
+        const std::size_t len = seg.data_end - data_from;
+        // Adjacent control spans coalesce into one iovec.
+        if (niov > 0 &&
+            static_cast<std::uint8_t*>(iov[niov - 1].iov_base) +
+                    iov[niov - 1].iov_len ==
+                base) {
+          iov[niov - 1].iov_len += len;
+        } else {
+          iov[niov].iov_base = base;
+          iov[niov].iov_len = len;
+          ++niov;
+        }
+      }
+      for (std::size_t z = zero_from; z < seg.zero_len && niov < kMaxIov;
+           z += kZeroChunk) {
+        const std::size_t len =
+            seg.zero_len - z < kZeroChunk ? seg.zero_len - z : kZeroChunk;
+        iov[niov].iov_base = const_cast<std::uint8_t*>(kZeroes);
+        iov[niov].iov_len = len;
+        ++niov;
+      }
+      if (zero_from < seg.zero_len && niov == kMaxIov) {
+        break;  // zero run truncated by the iovec budget; resume next pass
+      }
+      data_from = seg.data_end;
+      zero_from = 0;
+    }
+    msghdr hdr{};
+    hdr.msg_iov = iov;
+    hdr.msg_iovlen = niov;
+    const ssize_t n = ::sendmsg(fd, &hdr, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return FlushResult::kAgain;
+      }
+      Clear();
+      return FlushResult::kError;
+    }
+    Advance(static_cast<std::size_t>(n));
+  }
+  return FlushResult::kDone;
+}
+
+// --- FrameSplitter --------------------------------------------------------
+
+std::uint8_t* FrameSplitter::WritableData(std::size_t min_bytes) {
+  if (buf_.size() - end_ < min_bytes) {
+    if (begin_ > 0) {
+      // Slide the partial frame (if any) to the front.
+      std::memmove(buf_.data(), buf_.data() + begin_, end_ - begin_);
+      end_ -= begin_;
+      begin_ = 0;
+    }
+    if (buf_.size() - end_ < min_bytes) {
+      std::size_t want = buf_.size() * 2;
+      if (want < end_ + min_bytes) {
+        want = end_ + min_bytes;
+      }
+      buf_.resize(want);
+    }
+  }
+  return buf_.data() + end_;
+}
+
+FrameSplitter::Next FrameSplitter::NextFrame(const std::uint8_t** body,
+                                             std::uint32_t* len) {
+  const std::size_t avail = end_ - begin_;
+  if (avail < 4) {
+    return Next::kNeedMore;
+  }
+  const std::uint8_t* p = buf_.data() + begin_;
+  const std::uint32_t frame_len = static_cast<std::uint32_t>(p[0]) |
+                                  static_cast<std::uint32_t>(p[1]) << 8 |
+                                  static_cast<std::uint32_t>(p[2]) << 16 |
+                                  static_cast<std::uint32_t>(p[3]) << 24;
+  if (frame_len > kMaxFrameBytes) {
+    return Next::kBad;
+  }
+  if (avail < 4 + std::size_t{frame_len}) {
+    return Next::kNeedMore;
+  }
+  *body = p + 4;
+  *len = frame_len;
+  begin_ += 4 + std::size_t{frame_len};
+  if (begin_ == end_) {
+    begin_ = 0;
+    end_ = 0;
+  }
+  return Next::kFrame;
 }
 
 }  // namespace ccsim::substrate

@@ -1,0 +1,96 @@
+#ifndef CCSIM_UTIL_SPSC_RING_H_
+#define CCSIM_UTIL_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ccsim::util {
+
+/// Bounded single-producer/single-consumer ring of pre-constructed slots.
+///
+/// Unlike a value-queue, slots are exposed in place: the producer reserves
+/// the next slot, fills it (reusing whatever capacity the slot's members
+/// grew on earlier laps), then publishes; the consumer reads the front
+/// slot and pops. This is the same head/tail protocol as the checker
+/// pipeline's record ring (src/check/checker.cc), generalized over the
+/// element type so the wire layer can decode frames directly into
+/// net::Message slots without allocating per message.
+///
+/// Memory ordering: Publish() stores the head with seq_cst so it pairs
+/// with a consumer that publishes an "idle" flag (seq_cst) and then
+/// re-reads the head — the Dekker pattern RealtimeSubstrate uses to sleep
+/// without losing wakeups. pop() releases the slot back to the producer.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity)
+      : slots_(RoundUpPow2(capacity)), mask_(slots_.size() - 1) {}
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  // --- producer side ---
+
+  /// Next writable slot, or nullptr while the ring is full. The slot's
+  /// previous contents are whatever the consumer left behind — callers
+  /// overwrite, they don't assume emptiness.
+  T* TryReserve() {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head - cached_tail_ >= slots_.size()) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head - cached_tail_ >= slots_.size()) {
+        return nullptr;
+      }
+    }
+    return &slots_[head & mask_];
+  }
+
+  /// Makes the slot handed out by the last TryReserve() visible to the
+  /// consumer.
+  void Publish() {
+    head_.store(head_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_seq_cst);
+  }
+
+  // --- consumer side ---
+
+  /// Published-but-unconsumed slot count. seq_cst so a consumer that set
+  /// an idle flag first cannot miss a concurrent Publish().
+  std::size_t ready() const {
+    return head_.load(std::memory_order_seq_cst) -
+           tail_.load(std::memory_order_relaxed);
+  }
+
+  /// Front slot; only valid while ready() > 0.
+  T& Front() {
+    return slots_[tail_.load(std::memory_order_relaxed) & mask_];
+  }
+
+  /// Releases the front slot back to the producer.
+  void Pop() {
+    tail_.store(tail_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+  }
+
+ private:
+  static std::size_t RoundUpPow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) {
+      p <<= 1;
+    }
+    return p;
+  }
+
+  std::vector<T> slots_;
+  const std::size_t mask_;
+  std::atomic<std::uint64_t> head_{0};  // next slot the producer fills
+  std::atomic<std::uint64_t> tail_{0};  // next slot the consumer reads
+  std::uint64_t cached_tail_ = 0;       // producer's last view of tail_
+};
+
+}  // namespace ccsim::util
+
+#endif  // CCSIM_UTIL_SPSC_RING_H_

@@ -14,6 +14,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -25,6 +28,8 @@
 #include "sim/process.h"
 #include "sim/event.h"
 #include "sim/simulator.h"
+#include "substrate/wire.h"
+#include "util/spsc_ring.h"
 
 namespace {
 std::atomic<std::uint64_t> g_allocations{0};
@@ -191,6 +196,85 @@ TEST(PerfSmokeTest, EvictionVictimListIsAllocationFreeWithinInlineCapacity) {
   }
   EXPECT_EQ(AllocationsNow(), before) << "eviction victim path allocated";
   EXPECT_GT(sink, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Real-substrate wire path (the batched-I/O fast path's contract)
+// ---------------------------------------------------------------------------
+
+TEST(PerfSmokeTest, WirePathIsAllocationFreeAfterWarmup) {
+  // The steady-state real-substrate message loop — encode into a reused
+  // FrameBuffer, vectored flush, batched recv into a reused FrameSplitter,
+  // decode into reusable SpscRing slots — must not touch the heap once
+  // every buffer has grown to its working capacity. One lap here is what
+  // one calendar step does per connection: queue a batch, flush it, read
+  // it back, peel and decode every frame into the inbound ring.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+  net::Message msg;
+  msg.type = net::MsgType::kReadReply;
+  msg.src = net::kServerNode;
+  msg.dst = 3;
+  msg.xact = 42;
+  msg.request_id = 7;
+  for (int i = 0; i < 4; ++i) {
+    msg.pages.push_back(i);
+    msg.versions.push_back(static_cast<std::uint64_t>(100 + i));
+  }
+  msg.data_pages.push_back(9);  // one zero-run page image per frame
+  msg.data_versions.push_back(101);
+  constexpr std::uint32_t kPagePayload = 512;
+  constexpr int kBatch = 8;
+
+  substrate::FrameBuffer buffer;
+  substrate::FrameSplitter splitter;
+  util::SpscRing<net::Message> ring(64);
+  std::string error;
+  std::uint64_t decoded = 0;
+
+  const auto lap = [&] {
+    for (int i = 0; i < kBatch; ++i) {
+      buffer.AppendMessage(msg, kPagePayload);
+    }
+    ASSERT_EQ(buffer.Flush(fds[0]), substrate::FrameBuffer::FlushResult::kDone)
+        << "socketpair buffer too small for one batch";
+    const std::uint64_t target = decoded + kBatch;
+    while (decoded < target) {
+      std::uint8_t* dst = splitter.WritableData(4096);
+      const ssize_t n = ::recv(fds[1], dst, splitter.writable_size(), 0);
+      ASSERT_GT(n, 0);
+      splitter.CommitBytes(static_cast<std::size_t>(n));
+      const std::uint8_t* body = nullptr;
+      std::uint32_t len = 0;
+      while (splitter.NextFrame(&body, &len) ==
+             substrate::FrameSplitter::Next::kFrame) {
+        net::Message* slot = ring.TryReserve();
+        ASSERT_NE(slot, nullptr);
+        ASSERT_TRUE(
+            substrate::DecodeMessage(body, len, kPagePayload, slot, &error))
+            << error;
+        ring.Publish();
+        EXPECT_EQ(ring.Front().xact, 42u);
+        ring.Pop();
+        ++decoded;
+      }
+    }
+    ASSERT_TRUE(splitter.Empty());
+  };
+
+  for (int warm = 0; warm < 4; ++warm) {
+    lap();  // grow buffer/splitter/slot capacities to steady state
+  }
+  const std::uint64_t before = AllocationsNow();
+  for (int i = 0; i < 64; ++i) {
+    lap();
+  }
+  EXPECT_EQ(AllocationsNow(), before)
+      << "steady-state wire path (encode/flush/split/decode) allocated";
+  EXPECT_EQ(decoded, 68u * kBatch);
+  ::close(fds[0]);
+  ::close(fds[1]);
 }
 
 TEST(PerfSmokeTest, MessageListSpillFallsBackToHeap) {

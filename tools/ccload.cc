@@ -54,7 +54,9 @@ const AlgorithmChoice kAlgorithms[] = {
 void PrintUsage() {
   std::printf(
       "ccload — TCP load generator for ccserve\n\n"
-      "  --host=H              server host (default 127.0.0.1)\n"
+      "  --host=H              server hostname or IPv4 address\n"
+      "                        (default 127.0.0.1; see README for a\n"
+      "                        two-host run)\n"
       "  --port=N              server port\n"
       "  --port-file=PATH      read the port from PATH (ccserve wrote it)\n"
       "  --algorithm=NAME      must match the server\n"
@@ -211,6 +213,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     shard->network().set_transport(transport.get());
+    ccsim::substrate::TcpClientTransport* t = transport.get();
+    shard->substrate().set_flush_hook([t] { return t->Flush(); });
     shard->Start();
     shard_nodes.push_back(std::move(shard));
     transports.push_back(std::move(transport));

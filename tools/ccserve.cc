@@ -57,6 +57,7 @@ void PrintUsage() {
       "  --clients=N           total client population the load generators\n"
       "                        will present (must match ccload --clients)\n"
       "  --port=N              TCP port (0 = ephemeral; printed at start)\n"
+      "  --bind=HOST           bind address (default: all interfaces)\n"
       "  --port-file=PATH      write the bound port to PATH (scripting)\n"
       "  --buffer-pages=N      server buffer pool size\n"
       "  --mpl=N               server multiprogramming level\n"
@@ -86,6 +87,7 @@ int main(int argc, char** argv) {
   cfg.system.num_clients = 10;
   std::string algorithm_name = "2pl";
   std::string port_file;
+  std::string bind_host;
   int port = 0;
   double duration_s = 0.0;  // 0 = until signal
 
@@ -104,6 +106,8 @@ int main(int argc, char** argv) {
       cfg.system.num_clients = std::atoi(value.c_str());
     } else if (ParseValue(arg, "--port", &value)) {
       port = std::atoi(value.c_str());
+    } else if (ParseValue(arg, "--bind", &value)) {
+      bind_host = value;
     } else if (ParseValue(arg, "--port-file", &value)) {
       port_file = value;
     } else if (ParseValue(arg, "--buffer-pages", &value)) {
@@ -144,12 +148,15 @@ int main(int argc, char** argv) {
   ccsim::substrate::ServerNode node(cfg, cfg.control.seed);
   std::string error;
   auto transport = ccsim::substrate::TcpServerTransport::Listen(
-      port, ccsim::substrate::MakeHello(cfg), &node.substrate(), &error);
+      port, ccsim::substrate::MakeHello(cfg), &node.substrate(), &error,
+      bind_host);
   if (transport == nullptr) {
     std::fprintf(stderr, "listen failed: %s\n", error.c_str());
     return 1;
   }
   node.network().set_transport(transport.get());
+  ccsim::substrate::TcpServerTransport* t = transport.get();
+  node.substrate().set_flush_hook([t] { return t->Flush(); });
   node.Start();
 
   if (!port_file.empty()) {

@@ -15,7 +15,18 @@
 #      driven by ccload for each of the five protocols; a lost transaction,
 #      a conservation violation, zero commits, or an unclean server
 #      shutdown fails the leg,
-#   7. a checker-overhead budget gate: the tracked BENCH_kernel.json must
+#   7. a perf-smoke gate (ctest -L perf-smoke): the allocation-free
+#      steady-state contracts — the event kernel's Delay/broadcast paths
+#      AND the real-substrate wire path (encode/flush/split/decode) — are
+#      asserted exactly via a counting operator new,
+#   8. a real-substrate throughput floor: the loopback probe (same config
+#      bench_baseline.sh records) must not fall more than
+#      CCSIM_CI_TPUT_TOLERANCE percent below the tracked
+#      BENCH_kernel.json real_substrate number. Wall-clock throughput is
+#      host- and build-sensitive, so the gate self-skips (with a message)
+#      under a sanitizer, in a Debug build, or when the baseline was
+#      recorded on a host with a different core count,
+#   9. a checker-overhead budget gate: the tracked BENCH_kernel.json must
 #      record on_overhead_pct <= CCSIM_CI_CHECKER_BUDGET (default 12) — the
 #      price of the always-on verifier is a CI-enforced contract, not a
 #      hope.
@@ -27,14 +38,20 @@
 #   CCSIM_CI_CHECKER_BUDGET  max allowed checker-on overhead percent (12)
 #   CCSIM_CI_SMOKE_SECS  measured seconds per protocol in the loopback
 #                        smoke (default 5; ~30 s wall across all five)
+#   CCSIM_CI_TPUT_TOLERANCE  allowed real-substrate commits/s shortfall
+#                        versus the baseline, percent (default 10)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build-ci}"
+# Absolutize: later steps cd into the build dir and still reference it.
+mkdir -p "$build_dir"
+build_dir="$(cd "$build_dir" && pwd)"
 sanitize="${CCSIM_CI_SANITIZE:-asan}"
 jobs="${CCSIM_CI_JOBS:-$(nproc)}"
 checker_budget="${CCSIM_CI_CHECKER_BUDGET:-12}"
 smoke_secs="${CCSIM_CI_SMOKE_SECS:-5}"
+tput_tolerance="${CCSIM_CI_TPUT_TOLERANCE:-10}"
 
 step() { echo; echo "=== $* ==="; }
 
@@ -87,6 +104,56 @@ for algo in 2pl cert callback no-wait no-wait-notify; do
   kill -TERM "$serve_pid" 2>/dev/null || true
   wait "$serve_pid"
 done
+
+step "perf-smoke gate (allocation-free steady states, ctest -L perf-smoke)"
+ctest -L perf-smoke --output-on-failure -j"$jobs"
+
+step "real-substrate throughput floor (within ${tput_tolerance}% of baseline)"
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build_dir/CMakeCache.txt")"
+if [[ "$sanitize" != "OFF" ]]; then
+  echo "skipped: sanitized build ($sanitize) — wall-clock throughput is" \
+       "not comparable to the baseline"
+elif [[ "$build_type" != "Release" && "$build_type" != "RelWithDebInfo" ]]; then
+  echo "skipped: build type $build_type is not an optimized build"
+elif ! baseline_tput_info="$(2>&1 python3 - "$repo_root/BENCH_kernel.json" "$(nproc)" <<'PYEOF'
+import json, sys
+try:
+    baseline = json.load(open(sys.argv[1]))
+except OSError:
+    sys.exit("no BENCH_kernel.json - run tools/bench_baseline.sh")
+real = baseline.get("real_substrate", {})
+tput = real.get("commits_per_second")
+if not tput:
+    sys.exit("baseline has no real_substrate.commits_per_second")
+cores = baseline.get("host", {}).get("cores")
+if cores != int(sys.argv[2]):
+    sys.exit(f"baseline recorded on a {cores}-core host, this one has "
+             f"{sys.argv[2]} - numbers are not comparable")
+print(tput, real.get("shards", 1), real.get("clients", 16),
+      real.get("duration_seconds", 3))
+PYEOF
+)"; then
+  echo "skipped: $baseline_tput_info"
+else
+  read -r baseline_tput probe_shards probe_clients probe_secs \
+      <<<"$baseline_tput_info"
+  "$build_dir"/tools/ccsim_run --substrate=real --algorithm=2pl \
+      --clients="$probe_clients" --shards="$probe_shards" \
+      --duration="$probe_secs" --update-delay=0 --internal-delay=0 \
+      --external-delay=0 --csv >"$build_dir/ci_real_probe.csv"
+  probe_tput=$(awk -F, 'NR==2{print $7}' "$build_dir/ci_real_probe.csv")
+  python3 - "$baseline_tput" "$probe_tput" "$tput_tolerance" <<'PYEOF'
+import sys
+baseline, probe, tolerance = map(float, sys.argv[1:4])
+floor = baseline * (1 - tolerance / 100)
+print(f"real-substrate probe: {probe:.0f} commits/s "
+      f"(baseline {baseline:.0f}, floor {floor:.0f})")
+if probe < floor:
+    sys.exit(f"FAIL: real-substrate loopback throughput {probe:.0f} "
+             f"commits/s fell more than {tolerance}% below the tracked "
+             f"baseline {baseline:.0f}")
+PYEOF
+fi
 
 step "checker-overhead budget (<= ${checker_budget}%)"
 python3 - "$repo_root/BENCH_kernel.json" "$checker_budget" <<'PYEOF'
