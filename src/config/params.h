@@ -218,6 +218,11 @@ struct FaultParams {
     double at_s = 0.0;
     double duration_s = 1.0;
     int direction = 0;
+    /// Hard partition: on the real substrate the TCP connection carrying
+    /// `node` is additionally killed at window start (RST / mid-frame cut),
+    /// exercising frame resync and the reconnect path. The DES substrate
+    /// has no connections, so there a hard window behaves like a soft one.
+    bool hard = false;
   };
   std::vector<PartitionEvent> partitions;
   /// Storage faults, drawn per commit log force: probability that the force

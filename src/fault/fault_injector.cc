@@ -123,6 +123,7 @@ FaultPlan MakePlan(const config::FaultParams& params) {
         window.direction = PartitionWindow::Direction::kBoth;
         break;
     }
+    window.hard = part.hard;
     plan.partitions.push_back(window);
   }
   plan.storage.torn_write = params.torn_write_probability;

@@ -53,6 +53,9 @@ struct PartitionWindow {
   sim::Ticks at = 0;
   sim::Ticks duration = 0;
   Direction direction = Direction::kBoth;
+  /// Real-substrate-only: also kill the TCP connection carrying `node` at
+  /// window start (the DES substrate has no connections to kill).
+  bool hard = false;
 };
 
 /// Storage-level fault rates, drawn per log force by the LogManager. Both

@@ -10,9 +10,14 @@
 
 #include "check/checker.h"
 #include "client/client.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "net/message.h"
 #include "runner/metrics.h"
 #include "server/server.h"
+#include "sim/simulator.h"
 #include "sim/time.h"
+#include "substrate/faulty_transport.h"
 #include "substrate/node.h"
 #include "substrate/tcp.h"
 #include "util/macros.h"
@@ -35,20 +40,48 @@ int DefaultShards(int num_clients) {
   return shards;
 }
 
+/// Server recovery after a scheduled crash window: replay the log, then
+/// bring the node back up so the inbound filter admits traffic again.
+sim::Process RecoverRealServer(server::Server* server,
+                               fault::FaultInjector* injector) {
+  co_await server->Recover();
+  injector->SetDown(net::kServerNode, false);
+}
+
+/// True when the plan carries fault families the wire adapter handles
+/// (message faults, crash windows, partitions). Storage faults are
+/// attached to the log inside ServerNode and need no adapter.
+bool WireFaultsActive(const fault::FaultPlan& plan) {
+  if (plan.link.Any() || !plan.crashes.empty() || !plan.partitions.empty()) {
+    return true;
+  }
+  for (const auto& [link, faults] : plan.per_link) {
+    if (faults.Any()) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 Status ValidateRealConfig(const config::ExperimentConfig& config) {
-  if (config.fault.AnyFaults()) {
-    return Status::InvalidArgument(
-        "fault-plan injection (message drop/dup/delay, crash, partition, "
-        "storage faults) is simulated-substrate-only: the real transport "
-        "has no fault hooks yet — rerun with --substrate=sim or drop the "
-        "fault flags");
-  }
   if (config.control.record_history) {
     return Status::InvalidArgument(
-        "commit-history recording is simulated-substrate-only (the real "
-        "substrate's clients are sharded across threads/processes)");
+        "--record-history is simulated-substrate-only (the real "
+        "substrate's clients are sharded across threads/processes, so "
+        "there is no global commit order to record) — rerun with "
+        "--substrate=sim or drop --record-history");
+  }
+  for (const config::FaultParams::CrashEvent& crash : config.fault.crashes) {
+    if (crash.node != net::kServerNode) {
+      return Status::InvalidArgument(
+          "--crash=" + std::to_string(crash.node) +
+          ":... crashes a client node, which is simulated-substrate-only: "
+          "real client shards have no crash/restart hook — crash the "
+          "server instead (--crash=-1:AT:DOWN) or rerun with "
+          "--substrate=sim");
+    }
   }
   return Status::OK();
 }
@@ -69,6 +102,8 @@ Result<RunResult> RunRealExperiment(config::ExperimentConfig config,
   if (shards > num_clients) {
     shards = num_clients;
   }
+  const fault::FaultPlan plan = fault::MakePlan(config.fault);
+  const bool wire_faults = WireFaultsActive(plan);
 
   // --- server node -------------------------------------------------------
   substrate::ServerNode server_node(config, seed);
@@ -79,11 +114,56 @@ Result<RunResult> RunRealExperiment(config::ExperimentConfig config,
   if (server_transport == nullptr) {
     return Status::Internal("real substrate: " + error);
   }
-  server_node.network().set_transport(server_transport.get());
   // Outbound frames batch per connection; the loop flushes them at each
-  // calendar-step boundary.
+  // calendar-step boundary. With a fault plan active, a WireFaultAdapter
+  // is interposed at the Transport seam (null hook otherwise: fault-free
+  // runs keep the bare transport and the bare inbox sink).
   substrate::TcpServerTransport* st = server_transport.get();
-  server_node.substrate().set_flush_hook([st] { return st->Flush(); });
+  std::unique_ptr<substrate::WireFaultAdapter> server_adapter;
+  if (wire_faults) {
+    server_adapter = std::make_unique<substrate::WireFaultAdapter>(
+        plan, seed, &server_node.substrate(), st);
+    substrate::WireFaultAdapter* ad = server_adapter.get();
+    server_node.network().set_transport(ad);
+    server_node.substrate().set_flush_hook([ad] { return ad->Flush(); });
+    server_node.InstallInboundFilter(
+        [ad](const net::Message& msg) { return ad->AllowInbound(msg); });
+    // Plant the fault windows on the server's calendar before its loop
+    // thread exists: plan ticks are relative to the loop epoch (1 tick =
+    // 1 µs of wall clock once Run() starts).
+    sim::Simulator& ssim = server_node.substrate().sim();
+    server::Server* srv = &server_node.server();
+    fault::FaultInjector* inj = &ad->injector();
+    for (const fault::CrashWindow& crash : plan.crashes) {
+      ssim.ScheduleAt(crash.at, [inj, st, srv] {
+        inj->SetDown(net::kServerNode, true);
+        // A real crash takes the TCP endpoints with it: sever every
+        // connection so clients see RSTs and ride their reconnect path.
+        st->SeverAll();
+        srv->Crash();
+      });
+      sim::Simulator* simp = &ssim;
+      ssim.ScheduleAt(crash.at + crash.downtime, [simp, srv, inj] {
+        simp->Spawn(RecoverRealServer(srv, inj));
+      });
+    }
+    for (const fault::PartitionWindow& part : plan.partitions) {
+      const int node = part.node;
+      const fault::PartitionWindow::Direction dir = part.direction;
+      ssim.ScheduleAt(part.at, [inj, st, node, dir, hard = part.hard] {
+        inj->SetPartitioned(node, dir, true);
+        if (hard) {
+          st->SeverClient(node);
+        }
+      });
+      ssim.ScheduleAt(part.at + part.duration, [inj, node, dir] {
+        inj->SetPartitioned(node, dir, false);
+      });
+    }
+  } else {
+    server_node.network().set_transport(st);
+    server_node.substrate().set_flush_hook([st] { return st->Flush(); });
+  }
   server_node.Start();
   std::uint64_t server_events = 0;
   std::thread server_thread([&server_node, &server_events] {
@@ -99,6 +179,7 @@ Result<RunResult> RunRealExperiment(config::ExperimentConfig config,
   // --- client shards -----------------------------------------------------
   std::vector<std::unique_ptr<substrate::ClientShard>> shard_nodes;
   std::vector<std::unique_ptr<substrate::TcpClientTransport>> transports;
+  std::vector<std::unique_ptr<substrate::WireFaultAdapter>> shard_adapters;
   for (int s = 0; s < shards; ++s) {
     const int lo = num_clients * s / shards;
     const int hi = num_clients * (s + 1) / shards;
@@ -115,9 +196,46 @@ Result<RunResult> RunRealExperiment(config::ExperimentConfig config,
       stop_server();
       return Status::Internal("real substrate: " + error);
     }
-    shard->network().set_transport(transport.get());
     substrate::TcpClientTransport* ct = transport.get();
-    shard->substrate().set_flush_hook([ct] { return ct->Flush(); });
+    if (wire_faults) {
+      // Server crash windows kill this shard's connection; the reader
+      // must redial so the clients' RPC retries can land post-recovery.
+      ct->EnableReconnect();
+      auto adapter = std::make_unique<substrate::WireFaultAdapter>(
+          plan, seed + 1 + static_cast<std::uint64_t>(s),
+          &shard->substrate(), ct);
+      substrate::WireFaultAdapter* ad = adapter.get();
+      shard->network().set_transport(ad);
+      shard->substrate().set_flush_hook([ad] { return ad->Flush(); });
+      shard->InstallInboundFilter(
+          [ad](const net::Message& msg) { return ad->AllowInbound(msg); });
+      // Partition windows for clients this shard owns, mirrored on the
+      // shard's own calendar (ticks relative to its loop epoch, which
+      // starts a connection-setup interval after the server's — windows
+      // land within scheduling noise of each other).
+      sim::Simulator& csim = shard->substrate().sim();
+      fault::FaultInjector* inj = &ad->injector();
+      for (const fault::PartitionWindow& part : plan.partitions) {
+        if (part.node < lo || part.node >= hi) {
+          continue;
+        }
+        const int node = part.node;
+        const fault::PartitionWindow::Direction dir = part.direction;
+        csim.ScheduleAt(part.at, [inj, ct, node, dir, hard = part.hard] {
+          inj->SetPartitioned(node, dir, true);
+          if (hard) {
+            ct->AbortConnection();
+          }
+        });
+        csim.ScheduleAt(part.at + part.duration, [inj, node, dir] {
+          inj->SetPartitioned(node, dir, false);
+        });
+      }
+      shard_adapters.push_back(std::move(adapter));
+    } else {
+      shard->network().set_transport(ct);
+      shard->substrate().set_flush_hook([ct] { return ct->Flush(); });
+    }
     shard->Start();
     shard_nodes.push_back(std::move(shard));
     transports.push_back(std::move(transport));
@@ -176,6 +294,14 @@ Result<RunResult> RunRealExperiment(config::ExperimentConfig config,
     result.cert_aborts += m.cert_aborts();
     result.attempts_started += m.attempts_started();
     result.transactions_lost += m.transactions_lost();
+    result.rpc_retries += m.rpc_retries();
+    result.rpc_timeouts += m.rpc_timeouts();
+    result.timeout_aborts += m.timeout_aborts();
+    result.crash_aborts += m.crash_aborts();
+    result.lease_expirations += m.lease_expirations();
+    result.duplicates_suppressed += m.duplicates_suppressed();
+    result.retry_budget_exhaustions += m.retry_budget_exhaustions();
+    result.unknown_outcomes += m.unknown_outcomes();
     histogram.Merge(m.response_histogram());
     response_weighted +=
         m.response_s().mean() * static_cast<double>(m.response_s().count());
@@ -233,6 +359,36 @@ Result<RunResult> RunRealExperiment(config::ExperimentConfig config,
   result.shed_requests = server_node.metrics().shed_requests();
   result.ready_queue_high_water = server.ready_queue_high_water();
   result.gc_xacts = server_node.metrics().gc_xacts();
+  // Fault-family counters. Server-side metrics and each shard's metrics
+  // are distinct objects; every event is recorded on exactly one node, so
+  // summing both sides double-counts nothing.
+  const Metrics& sm = server_node.metrics();
+  result.rpc_retries += sm.rpc_retries();
+  result.rpc_timeouts += sm.rpc_timeouts();
+  result.timeout_aborts += sm.timeout_aborts();
+  result.crash_aborts += sm.crash_aborts();
+  result.lease_expirations += sm.lease_expirations();
+  result.duplicates_suppressed += sm.duplicates_suppressed();
+  result.retry_budget_exhaustions += sm.retry_budget_exhaustions();
+  result.server_crashes = sm.server_crashes();
+  result.recovery_seconds = sim::TicksToSeconds(sm.recovery_ticks());
+  auto add_injector = [&result](const fault::FaultInjector& inj) {
+    result.messages_dropped += inj.messages_dropped();
+    result.messages_duplicated += inj.messages_duplicated();
+    result.delay_spikes += inj.delay_spikes();
+    result.down_drops += inj.down_drops();
+    result.partition_drops += inj.partition_drops();
+  };
+  if (server_adapter != nullptr) {
+    add_injector(server_adapter->injector());
+  }
+  for (const auto& adapter : shard_adapters) {
+    add_injector(adapter->injector());
+  }
+  result.log_torn_writes = server.log().torn_writes_detected();
+  result.log_bit_flips = server.log().bit_flips_detected();
+  result.log_rewrites = server.log().log_rewrites();
+  result.log_records_truncated = server.log().records_truncated();
   result.final_lock_waiters = server.locks().waiter_count();
   result.final_locks_held = server.locks().held_count();
   result.final_active_xacts = server.active_transactions();

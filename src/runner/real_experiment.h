@@ -27,9 +27,12 @@ struct RealRunOptions {
   bool raw_speed = true;
 };
 
-/// Rejects configurations that only make sense on the DES substrate
-/// (fault-plan message/crash/storage faults, commit-history recording)
-/// instead of silently ignoring them.
+/// Rejects configurations that only make sense on the DES substrate,
+/// naming the offending flag: commit-history recording (no global commit
+/// order across shards) and client-node crash windows (shards have no
+/// crash/restart hook). Everything else — message drop/dup/delay-spike,
+/// partitions (soft and hard), server crash+restart, storage faults —
+/// runs on the wire via the WireFaultAdapter.
 Status ValidateRealConfig(const config::ExperimentConfig& config);
 
 /// Runs `config` on the real substrate, in-process: a ServerNode plus N

@@ -17,6 +17,10 @@ constexpr std::uint64_t kNetworkStream = 0x7e7;
 constexpr std::uint64_t kClientObjectStreamBase = 0x1000;
 constexpr std::uint64_t kClientDelayStreamBase = 0x20000;
 constexpr std::uint64_t kClientJitterStreamBase = 0x30000;
+/// Storage-fault draws get their own stream (distinct from the wire-fault
+/// adapter's kWireFaultStream) so log forces and message faults stay
+/// deterministic independently of each other.
+constexpr std::uint64_t kStorageFaultStream = 0xFA18;
 
 }  // namespace
 
@@ -80,6 +84,14 @@ ServerNode::ServerNode(const config::ExperimentConfig& config,
     });
     metrics_.set_checker(checker_.get());
   }
+  fault::FaultPlan plan = fault::MakePlan(config_.fault);
+  if (plan.storage.Any()) {
+    // Torn writes / bit flips happen inside log forces, which run on this
+    // node's loop thread only — a plain injector is safe here.
+    storage_injector_ = std::make_unique<fault::FaultInjector>(
+        std::move(plan), sim::Pcg32(seed, kStorageFaultStream));
+    server_->log().set_fault_injector(storage_injector_.get());
+  }
   server::Server* srv = server_.get();
   substrate_.set_message_sink([srv](net::Message msg) {
     srv->inbox().Push(std::move(msg));
@@ -96,6 +108,18 @@ void ServerNode::Start() { server_->Start(); }
 
 std::uint64_t ServerNode::RunLoop(sim::Ticks horizon) {
   return substrate_.Run(horizon);
+}
+
+void ServerNode::InstallInboundFilter(
+    std::function<bool(const net::Message&)> filter) {
+  server::Server* srv = server_.get();
+  substrate_.set_message_sink(
+      [srv, filter = std::move(filter)](net::Message msg) {
+        if (!filter(msg)) {
+          return;
+        }
+        srv->inbox().Push(std::move(msg));
+      });
 }
 
 bool ServerNode::FinalizeChecker() {
@@ -150,6 +174,21 @@ void ClientShard::Start() {
   for (auto& c : clients_) {
     c->Start();
   }
+}
+
+void ClientShard::InstallInboundFilter(
+    std::function<bool(const net::Message&)> filter) {
+  auto* clients = &clients_;
+  const int lo = client_lo_;
+  const int hi = client_hi_;
+  substrate_.set_message_sink(
+      [clients, lo, hi, filter = std::move(filter)](net::Message msg) {
+        if (msg.dst < lo || msg.dst >= hi || !filter(msg)) {
+          return;
+        }
+        (*clients)[static_cast<std::size_t>(msg.dst - lo)]->inbox().Push(
+            std::move(msg));
+      });
 }
 
 std::uint64_t ClientShard::RunLoop(sim::Ticks warmup, sim::Ticks duration) {

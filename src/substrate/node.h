@@ -2,6 +2,7 @@
 #define CCSIM_SUBSTRATE_NODE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "client/client.h"
 #include "config/params.h"
 #include "db/database.h"
+#include "fault/fault_injector.h"
 #include "net/network.h"
 #include "runner/metrics.h"
 #include "server/server.h"
@@ -53,6 +55,17 @@ class ServerNode {
   /// (call once, after the loop has stopped). Returns false if no checker.
   bool FinalizeChecker();
 
+  /// Interposes `filter` between the transport and the server's inbox:
+  /// messages for which it returns false are discarded. Used by the wire
+  /// fault adapter to enforce crash/partition windows on inbound traffic.
+  /// Fault-free runs never call this, keeping the sink a bare inbox push.
+  /// Call before the loop starts; the filter runs on the loop thread.
+  void InstallInboundFilter(std::function<bool(const net::Message&)> filter);
+
+  /// The storage-fault injector attached to the server's log (nullptr
+  /// unless the config carries torn-write/bit-flip probabilities).
+  fault::FaultInjector* storage_injector() { return storage_injector_.get(); }
+
   RealtimeSubstrate& substrate() { return substrate_; }
   net::Network& network() { return network_; }
   server::Server& server() { return *server_; }
@@ -68,6 +81,7 @@ class ServerNode {
   net::Network network_;
   std::unique_ptr<check::Checker> checker_;
   std::unique_ptr<server::Server> server_;
+  std::unique_ptr<fault::FaultInjector> storage_injector_;
 };
 
 /// A slice of the client population — global ids [client_lo, client_hi) —
@@ -93,6 +107,9 @@ class ClientShard {
   /// Runs the event loop on the calling thread for `duration` wall ticks,
   /// resetting the stats window after `warmup` ticks.
   std::uint64_t RunLoop(sim::Ticks warmup, sim::Ticks duration);
+
+  /// Same as ServerNode::InstallInboundFilter, for the shard's clients.
+  void InstallInboundFilter(std::function<bool(const net::Message&)> filter);
 
   int client_lo() const { return client_lo_; }
   int client_hi() const { return client_hi_; }

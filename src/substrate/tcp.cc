@@ -8,8 +8,10 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "util/macros.h"
@@ -223,6 +225,23 @@ FrameBuffer::FlushResult Connection::Flush() {
   return result;
 }
 
+void Connection::Abort() {
+  dead_.store(true, std::memory_order_relaxed);
+  // Discard the outbound batch even mid-frame: the peer's splitter is left
+  // holding a partial frame, exactly the failure a yanked cable produces.
+  buffer_.Clear();
+  if (fd_.valid()) {
+    // Linger(0) turns the eventual close() into an RST; unread peer data
+    // also RSTs on many stacks. Either way the peer sees a hard failure,
+    // never a clean EOF that could be mistaken for an orderly goodbye.
+    struct linger hard {};
+    hard.l_onoff = 1;
+    hard.l_linger = 0;
+    ::setsockopt(fd_.get(), SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+  }
+  fd_.ShutdownBoth();
+}
+
 bool Connection::SendRaw(const std::vector<std::uint8_t>& bytes) {
   if (dead_.load(std::memory_order_relaxed)) {
     return false;
@@ -249,9 +268,9 @@ bool Connection::ReadFrame(std::vector<std::uint8_t>* body) {
 
 // --- client ---------------------------------------------------------------
 
-std::unique_ptr<TcpClientTransport> TcpClientTransport::Connect(
+std::unique_ptr<Connection> TcpClientTransport::DialAndHandshake(
     const std::string& host, int port, const Hello& hello,
-    RealtimeSubstrate* substrate, std::string* error) {
+    std::string* error, double handshake_timeout_s) {
   ScopedFd fd = NewTcpSocket(error);
   if (!fd.valid()) {
     return nullptr;
@@ -268,6 +287,15 @@ std::unique_ptr<TcpClientTransport> TcpClientTransport::Connect(
     *error = std::string("connect: ") + std::strerror(errno);
     return nullptr;
   }
+  if (handshake_timeout_s > 0) {
+    // Bound the handshake recv so a redial racing teardown cannot park the
+    // reader thread forever (Close() joins it).
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(handshake_timeout_s);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (handshake_timeout_s - static_cast<double>(tv.tv_sec)) * 1e6);
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
   auto conn = std::make_unique<Connection>(std::move(fd));
   std::vector<std::uint8_t> frame;
   EncodeHello(hello, &frame);
@@ -277,38 +305,107 @@ std::unique_ptr<TcpClientTransport> TcpClientTransport::Connect(
   }
   Hello server_hello;
   if (!ReadHello(conn.get(), &server_hello, error)) {
+    *error = error->empty() ? "connection closed during handshake" : *error;
     return nullptr;
   }
   if (!HellosCompatible(hello, server_hello, error)) {
     return nullptr;
   }
+  if (handshake_timeout_s > 0) {
+    timeval tv{};  // back to blocking for the steady-state reader
+    ::setsockopt(conn->fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
   conn->set_peer(server_hello);
+  return conn;
+}
+
+std::unique_ptr<TcpClientTransport> TcpClientTransport::Connect(
+    const std::string& host, int port, const Hello& hello,
+    RealtimeSubstrate* substrate, std::string* error) {
+  std::unique_ptr<Connection> conn =
+      DialAndHandshake(host, port, hello, error);
+  if (conn == nullptr) {
+    return nullptr;
+  }
   return std::unique_ptr<TcpClientTransport>(new TcpClientTransport(
-      std::move(conn), substrate, hello.page_payload_bytes));
+      std::move(conn), substrate, host, port, hello));
 }
 
 TcpClientTransport::TcpClientTransport(std::unique_ptr<Connection> conn,
                                        RealtimeSubstrate* substrate,
-                                       std::uint32_t page_payload_bytes)
+                                       const std::string& host, int port,
+                                       const Hello& hello)
     : conn_(std::move(conn)), substrate_(substrate),
-      channel_(substrate->OpenChannel()),
-      page_payload_bytes_(page_payload_bytes) {
-  Connection* c = conn_.get();
-  InboundChannel* ch = channel_.get();
-  reader_ = std::thread([this, c, ch] {
-    BatchedReadLoop(c, ch, page_payload_bytes_, &frames_received_,
-                    "ccload");
-    ch->Close();
-  });
+      channel_(substrate->OpenChannel()), host_(host), port_(port),
+      hello_(hello), page_payload_bytes_(hello.page_payload_bytes) {
+  reader_ = std::thread([this] { ReaderMain(); });
 }
 
 TcpClientTransport::~TcpClientTransport() { Close(); }
 
+void TcpClientTransport::ReaderMain() {
+  for (;;) {
+    Connection* conn;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      conn = conn_.get();
+    }
+    // Fresh FrameSplitter per connection: a mid-frame cut on the old
+    // connection cannot corrupt the new stream's framing.
+    BatchedReadLoop(conn, channel_.get(), page_payload_bytes_,
+                    &frames_received_, "ccload");
+    if (closing_.load(std::memory_order_acquire) ||
+        !reconnect_.load(std::memory_order_relaxed)) {
+      break;
+    }
+    // Connection lost under an active fault plan: poison it so the loop
+    // thread counts queued messages as disconnected drops, then redial.
+    conn->MarkDead();
+    std::unique_ptr<Connection> fresh;
+    int backoff_ms = 20;
+    while (!closing_.load(std::memory_order_acquire)) {
+      std::string error;
+      fresh = DialAndHandshake(host_, port_, hello_, &error,
+                               /*handshake_timeout_s=*/2.0);
+      if (fresh != nullptr) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, 200);
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      // Swap and re-check closing_ under the lock: Close() sets closing_
+      // and shuts down conn_ under the same lock, so either it kills the
+      // connection we are about to read or we see the flag and stop.
+      if (closing_.load(std::memory_order_acquire) || fresh == nullptr) {
+        break;
+      }
+      conn_ = std::move(fresh);
+    }
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+  }
+  channel_->Close();
+}
+
+void TcpClientTransport::EnableReconnect() {
+  reconnect_.store(true, std::memory_order_relaxed);
+}
+
+void TcpClientTransport::AbortConnection() {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  conn_->Abort();
+}
+
 void TcpClientTransport::Deliver(const net::Message& msg) {
-  conn_->QueueMessage(msg, page_payload_bytes_);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  if (!conn_->QueueMessage(msg, page_payload_bytes_)) {
+    disconnected_drops_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 bool TcpClientTransport::Flush() {
+  std::lock_guard<std::mutex> lock(conn_mu_);
   if (!conn_->has_pending()) {
     return true;
   }
@@ -317,7 +414,11 @@ bool TcpClientTransport::Flush() {
 
 void TcpClientTransport::Close() {
   channel_->Close();  // unblock a reader stalled on a full ring
-  conn_->Shutdown();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    closing_.store(true, std::memory_order_release);
+    conn_->Shutdown();
+  }
   if (reader_.joinable()) {
     reader_.join();
   }
@@ -493,6 +594,49 @@ bool TcpServerTransport::Flush() {
   }
   dirty_.resize(keep);
   return dirty_.empty();
+}
+
+void TcpServerTransport::SeverAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& conn : conns_) {
+    if (!conn->dead()) {
+      conn->Abort();
+    }
+  }
+}
+
+void TcpServerTransport::SeverClient(int id) {
+  std::shared_ptr<Connection> conn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id >= 0 && id < static_cast<int>(routes_.size())) {
+      conn = routes_[id];
+    }
+  }
+  if (conn != nullptr) {
+    conn->Abort();
+  }
+}
+
+bool TcpServerTransport::DrainOrPoison(double seconds) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(seconds));
+  while (!Flush()) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      // The peers still attached here have not drained within the grace
+      // period: poison them so they observe a failed connection, never a
+      // silently truncated stream passed off as success.
+      for (auto& conn : dirty_) {
+        conn->Abort();
+      }
+      dirty_.clear();
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
 }
 
 void TcpServerTransport::Close() {

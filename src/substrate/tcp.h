@@ -84,6 +84,19 @@ class Connection {
   bool ReadFrame(std::vector<std::uint8_t>* body);
 
   void Shutdown() { fd_.ShutdownBoth(); }
+
+  /// Marks the connection dead without touching the outbound buffer, so it
+  /// is safe from any thread (the buffer is loop-thread-only; the next
+  /// loop-thread Flush() discards it).
+  void MarkDead() { dead_.store(true, std::memory_order_relaxed); }
+
+  /// Hard kill: poisons the connection, discards any partially-flushed
+  /// outbound batch (the peer sees a frame cut mid-stream), arms
+  /// SO_LINGER(0) so the eventual close() RSTs instead of FIN-ing, and
+  /// shuts the socket down to eject the reader thread. Caller must hold
+  /// the outbound single-writer role (loop thread, or post-join teardown).
+  void Abort();
+
   int fd() const { return fd_.get(); }
   bool dead() const { return dead_.load(std::memory_order_relaxed); }
   const Hello& peer() const { return peer_; }
@@ -125,20 +138,61 @@ class TcpClientTransport : public net::Transport {
   /// Closes the socket and joins the reader.
   void Close();
 
+  /// Opts in to redial-on-disconnect: when the reader thread loses the
+  /// connection it re-dials the server (exponential backoff, fresh
+  /// handshake, fresh FrameSplitter) and swaps the new connection in. Off
+  /// by default so fault-free runs keep the original lock-free-reader,
+  /// fail-stop semantics; wiring enables it only when a fault plan is
+  /// active. Call before the substrate starts delivering.
+  void EnableReconnect();
+
+  /// Hard partition: kills the current connection mid-frame (RST). With
+  /// reconnect enabled the reader redials; messages queued in between are
+  /// counted as disconnected drops. Shard-loop-thread only.
+  void AbortConnection();
+
   std::uint64_t frames_received() const {
     return frames_received_.load(std::memory_order_relaxed);
+  }
+  /// Successful redials after a lost connection.
+  std::uint64_t reconnects() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+  /// Outbound messages dropped while no live connection existed.
+  std::uint64_t disconnected_drops() const {
+    return disconnected_drops_.load(std::memory_order_relaxed);
   }
 
  private:
   TcpClientTransport(std::unique_ptr<Connection> conn,
-                     RealtimeSubstrate* substrate,
-                     std::uint32_t page_payload_bytes);
+                     RealtimeSubstrate* substrate, const std::string& host,
+                     int port, const Hello& hello);
 
+  /// Socket + connect + Hello exchange. `handshake_timeout_s` > 0 bounds
+  /// the handshake recv (redials during teardown must not hang Close()).
+  static std::unique_ptr<Connection> DialAndHandshake(
+      const std::string& host, int port, const Hello& hello,
+      std::string* error, double handshake_timeout_s = 0.0);
+
+  /// Reader-thread main: BatchedReadLoop on the live connection; on loss,
+  /// redial-and-swap when reconnect is enabled, else exit.
+  void ReaderMain();
+
+  /// Guards conn_ replacement on reconnect. Uncontended on the hot path
+  /// (the reader only takes it between connections).
+  std::mutex conn_mu_;
   std::unique_ptr<Connection> conn_;
   RealtimeSubstrate* substrate_;
   std::shared_ptr<InboundChannel> channel_;
+  std::string host_;
+  int port_;
+  Hello hello_;
   std::uint32_t page_payload_bytes_;
+  std::atomic<bool> reconnect_{false};
+  std::atomic<bool> closing_{false};
   std::atomic<std::uint64_t> frames_received_{0};
+  std::atomic<std::uint64_t> reconnects_{0};
+  std::atomic<std::uint64_t> disconnected_drops_{0};
   std::thread reader_;
 };
 
@@ -170,6 +224,23 @@ class TcpServerTransport : public net::Transport {
 
   /// Stops accepting, closes every connection, joins all threads.
   void Close();
+
+  /// Hard server crash: kills every live connection (RST / mid-frame cut).
+  /// Clients notice immediately and ride their reconnect machinery.
+  /// Server-loop-thread only (scheduled crash events).
+  void SeverAll();
+
+  /// Hard partition: kills the connection that routes client `id`.
+  /// Server-loop-thread only.
+  void SeverClient(int id);
+
+  /// Final outbound drain, called after the event loop has stopped (the
+  /// caller is then the sole outbound writer). Retries Flush() until every
+  /// connection drains or `seconds` elapse; on deadline the stragglers are
+  /// aborted (mid-frame poison), so the peer observes a failed connection
+  /// rather than a silently truncated success. Returns true when fully
+  /// drained.
+  bool DrainOrPoison(double seconds);
 
   int port() const { return port_; }
   std::uint64_t frames_received() const {

@@ -20,8 +20,12 @@
 #include <vector>
 
 #include "config/params.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "net/message.h"
 #include "runner/metrics.h"
 #include "sim/time.h"
+#include "substrate/faulty_transport.h"
 #include "substrate/node.h"
 #include "substrate/tcp.h"
 
@@ -69,6 +73,18 @@ void PrintUsage() {
       "  --warmup=S            warmup before the stats window (default 1)\n"
       "  --locality=P --prob-write=P   workload shape\n"
       "  --seed=N              RNG seed (must match the server)\n"
+      "  --drop=P --dup=P      per-frame drop/duplicate probability on this\n"
+      "                        side of the wire\n"
+      "  --spike=P:MS          per-frame delay-spike probability and size\n"
+      "  --partition=NODE:AT:DUR[:DIR][:hard]\n"
+      "                        blackhole client NODE's frames at AT s for\n"
+      "                        DUR s; DIR = both | in | out; 'hard' also\n"
+      "                        kills the owning shard's TCP connection\n"
+      "  --recovery            run the client recovery layer (timeouts,\n"
+      "                        retries, leases) without injecting faults;\n"
+      "                        any fault flag implies it. The server must\n"
+      "                        be started with matching fault flags so both\n"
+      "                        sides agree on recovery mode.\n"
       "  --help                this text\n");
 }
 
@@ -130,6 +146,60 @@ int main(int argc, char** argv) {
     } else if (ParseValue(arg, "--seed", &value)) {
       cfg.control.seed = static_cast<std::uint64_t>(
           std::strtoull(value.c_str(), nullptr, 10));
+    } else if (std::strcmp(arg, "--recovery") == 0) {
+      cfg.fault.recovery_enabled = true;
+    } else if (ParseValue(arg, "--drop", &value)) {
+      cfg.fault.drop_probability = std::atof(value.c_str());
+      cfg.fault.recovery_enabled = true;
+    } else if (ParseValue(arg, "--dup", &value)) {
+      cfg.fault.duplicate_probability = std::atof(value.c_str());
+      cfg.fault.recovery_enabled = true;
+    } else if (ParseValue(arg, "--spike", &value)) {
+      const std::size_t colon = value.find(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "--spike wants P:MS\n");
+        return 2;
+      }
+      cfg.fault.delay_spike_probability =
+          std::atof(value.substr(0, colon).c_str());
+      cfg.fault.delay_spike_ms = std::atof(value.substr(colon + 1).c_str());
+      cfg.fault.recovery_enabled = true;
+    } else if (ParseValue(arg, "--partition", &value)) {
+      const std::size_t c1 = value.find(':');
+      const std::size_t c2 =
+          c1 == std::string::npos ? std::string::npos : value.find(':', c1 + 1);
+      if (c2 == std::string::npos) {
+        std::fprintf(stderr, "--partition wants NODE:AT:DUR[:DIR][:hard]\n");
+        return 2;
+      }
+      const std::size_t c3 = value.find(':', c2 + 1);
+      ccsim::config::FaultParams::PartitionEvent part;
+      part.node = std::atoi(value.substr(0, c1).c_str());
+      part.at_s = std::atof(value.substr(c1 + 1, c2 - c1 - 1).c_str());
+      part.duration_s = std::atof(value.substr(c2 + 1, c3 - c2 - 1).c_str());
+      for (std::size_t pos = c3; pos != std::string::npos;) {
+        const std::size_t next = value.find(':', pos + 1);
+        const std::string token = value.substr(
+            pos + 1,
+            next == std::string::npos ? std::string::npos : next - pos - 1);
+        if (token == "both") {
+          part.direction = 0;
+        } else if (token == "in") {
+          part.direction = 1;
+        } else if (token == "out") {
+          part.direction = 2;
+        } else if (token == "hard") {
+          part.hard = true;
+        } else {
+          std::fprintf(stderr,
+                       "--partition DIR wants both|in|out (optionally "
+                       "followed by :hard)\n");
+          return 2;
+        }
+        pos = next;
+      }
+      cfg.fault.partitions.push_back(part);
+      cfg.fault.recovery_enabled = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg);
       return 2;
@@ -192,10 +262,13 @@ int main(int argc, char** argv) {
   }
 
   // --- connect shards -----------------------------------------------------
+  const ccsim::fault::FaultPlan plan = ccsim::fault::MakePlan(cfg.fault);
+  const bool wire_faults = plan.link.Any() || !plan.partitions.empty();
   const ccsim::substrate::Hello base_hello = ccsim::substrate::MakeHello(cfg);
   std::vector<std::unique_ptr<ccsim::substrate::ClientShard>> shard_nodes;
   std::vector<std::unique_ptr<ccsim::substrate::TcpClientTransport>>
       transports;
+  std::vector<std::unique_ptr<ccsim::substrate::WireFaultAdapter>> adapters;
   for (int s = 0; s < shards; ++s) {
     const int shard_lo = lo + driven * s / shards;
     const int shard_hi = lo + driven * (s + 1) / shards;
@@ -212,9 +285,48 @@ int main(int argc, char** argv) {
                    port, error.c_str());
       return 1;
     }
-    shard->network().set_transport(transport.get());
     ccsim::substrate::TcpClientTransport* t = transport.get();
-    shard->substrate().set_flush_hook([t] { return t->Flush(); });
+    if (cfg.fault.recovery_enabled) {
+      // A server crash (or a hard partition) kills this shard's connection;
+      // the reader redials so RPC retries can land post-recovery.
+      t->EnableReconnect();
+    }
+    if (wire_faults) {
+      auto adapter = std::make_unique<ccsim::substrate::WireFaultAdapter>(
+          plan, cfg.control.seed + 1 + static_cast<std::uint64_t>(s),
+          &shard->substrate(), t);
+      ccsim::substrate::WireFaultAdapter* ad = adapter.get();
+      shard->network().set_transport(ad);
+      shard->substrate().set_flush_hook([ad] { return ad->Flush(); });
+      shard->InstallInboundFilter(
+          [ad](const ccsim::net::Message& msg) {
+            return ad->AllowInbound(msg);
+          });
+      // Partition windows for clients this shard owns, on the shard's own
+      // calendar (ticks are wall µs relative to its loop epoch).
+      ccsim::sim::Simulator& sim = shard->substrate().sim();
+      ccsim::fault::FaultInjector* inj = &ad->injector();
+      for (const ccsim::fault::PartitionWindow& part : plan.partitions) {
+        if (part.node < shard_lo || part.node >= shard_hi) {
+          continue;
+        }
+        const int pnode = part.node;
+        const ccsim::fault::PartitionWindow::Direction dir = part.direction;
+        sim.ScheduleAt(part.at, [inj, t, pnode, dir, hard = part.hard] {
+          inj->SetPartitioned(pnode, dir, true);
+          if (hard) {
+            t->AbortConnection();
+          }
+        });
+        sim.ScheduleAt(part.at + part.duration, [inj, pnode, dir] {
+          inj->SetPartitioned(pnode, dir, false);
+        });
+      }
+      adapters.push_back(std::move(adapter));
+    } else {
+      shard->network().set_transport(t);
+      shard->substrate().set_flush_hook([t] { return t->Flush(); });
+    }
     shard->Start();
     shard_nodes.push_back(std::move(shard));
     transports.push_back(std::move(transport));
@@ -244,6 +356,9 @@ int main(int argc, char** argv) {
   // --- report -------------------------------------------------------------
   std::uint64_t commits = 0, aborts = 0, started = 0, lost = 0;
   std::uint64_t messages = 0;
+  std::uint64_t retries = 0, timeouts = 0, leases = 0, dup_suppressed = 0;
+  std::uint64_t timeout_aborts = 0, crash_aborts = 0, budget_exhausted = 0;
+  std::uint64_t unknown = 0;
   double response_weighted = 0.0;
   ccsim::runner::LatencyHistogram histogram;
   for (auto& shard : shard_nodes) {
@@ -252,10 +367,33 @@ int main(int argc, char** argv) {
     aborts += m.aborts();
     started += m.attempts_started();
     lost += m.transactions_lost();
+    retries += m.rpc_retries();
+    timeouts += m.rpc_timeouts();
+    leases += m.lease_expirations();
+    dup_suppressed += m.duplicates_suppressed();
+    timeout_aborts += m.timeout_aborts();
+    crash_aborts += m.crash_aborts();
+    budget_exhausted += m.retry_budget_exhaustions();
+    unknown += m.unknown_outcomes();
     response_weighted +=
         m.response_s().mean() * static_cast<double>(m.response_s().count());
     histogram.Merge(m.response_histogram());
     messages += shard->network().messages_sent();
+  }
+  std::uint64_t reconnects = 0, disconnected_drops = 0;
+  for (auto& transport : transports) {
+    reconnects += transport->reconnects();
+    disconnected_drops += transport->disconnected_drops();
+  }
+  std::uint64_t wire_dropped = 0, wire_duplicated = 0, wire_spikes = 0;
+  std::uint64_t wire_down_drops = 0, wire_partition_drops = 0;
+  for (auto& adapter : adapters) {
+    const ccsim::fault::FaultInjector& inj = adapter->injector();
+    wire_dropped += inj.messages_dropped();
+    wire_duplicated += inj.messages_duplicated();
+    wire_spikes += inj.delay_spikes();
+    wire_down_drops += inj.down_drops();
+    wire_partition_drops += inj.partition_drops();
   }
   const std::uint64_t finished = commits + aborts;
   const std::uint64_t in_flight = started > finished ? started - finished : 0;
@@ -275,6 +413,34 @@ int main(int argc, char** argv) {
               histogram.Quantile(0.99));
   std::printf("messages    : %llu sent\n",
               static_cast<unsigned long long>(messages));
+  if (cfg.fault.recovery_enabled) {
+    std::printf(
+        "recovery    : retries %llu, timeouts %llu, lease expirations %llu, "
+        "dup suppressed %llu, unknown outcomes %llu\n",
+        static_cast<unsigned long long>(retries),
+        static_cast<unsigned long long>(timeouts),
+        static_cast<unsigned long long>(leases),
+        static_cast<unsigned long long>(dup_suppressed),
+        static_cast<unsigned long long>(unknown));
+    std::printf(
+        "recovery    : timeout aborts %llu, crash aborts %llu, retry budget "
+        "exhausted %llu, reconnects %llu, disconnected drops %llu\n",
+        static_cast<unsigned long long>(timeout_aborts),
+        static_cast<unsigned long long>(crash_aborts),
+        static_cast<unsigned long long>(budget_exhausted),
+        static_cast<unsigned long long>(reconnects),
+        static_cast<unsigned long long>(disconnected_drops));
+  }
+  if (wire_faults) {
+    std::printf(
+        "wire faults : dropped %llu, duplicated %llu, spikes %llu, "
+        "down-drops %llu, partition-drops %llu\n",
+        static_cast<unsigned long long>(wire_dropped),
+        static_cast<unsigned long long>(wire_duplicated),
+        static_cast<unsigned long long>(wire_spikes),
+        static_cast<unsigned long long>(wire_down_drops),
+        static_cast<unsigned long long>(wire_partition_drops));
+  }
 
   bool ok = true;
   if (commits == 0) {
@@ -289,6 +455,10 @@ int main(int argc, char** argv) {
   // Window conservation: started + in_flight(start) == finished +
   // in_flight(end), both in-flight terms bounded by the driven population
   // (the warmup reset can leave the window's start imbalance non-zero).
+  // This bound holds under wire faults too: each client drives exactly one
+  // transaction at a time, and every faulted attempt resolves to a commit,
+  // an abort, or a still-in-flight retry — never a silent disappearance
+  // (that would be transactions_lost, checked above).
   const std::uint64_t slack = static_cast<std::uint64_t>(driven);
   if (started > finished + slack || finished > started + slack) {
     std::printf("FAIL: conservation violated (started %llu, finished %llu, "

@@ -15,11 +15,18 @@
 #include <cstring>
 #include <chrono>
 #include <limits>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "config/params.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "net/message.h"
+#include "server/server.h"
+#include "sim/process.h"
 #include "sim/time.h"
+#include "substrate/faulty_transport.h"
 #include "substrate/node.h"
 #include "substrate/tcp.h"
 
@@ -65,6 +72,21 @@ void PrintUsage() {
       "  --duration=S          exit after S wall seconds (default: run\n"
       "                        until SIGINT/SIGTERM)\n"
       "  --check               run the consistency oracle on every commit\n"
+      "  --crash=AT:DOWN       self-crash at AT s for DOWN s, then replay\n"
+      "                        the log and resume (repeatable); live TCP\n"
+      "                        connections are severed at the crash\n"
+      "  --drop=P --dup=P      per-frame drop/duplicate probability\n"
+      "  --spike=P:MS          per-frame delay-spike probability and size\n"
+      "  --partition=NODE:AT:DUR[:DIR][:hard]\n"
+      "                        blackhole client NODE's frames at AT s for\n"
+      "                        DUR s; DIR = both | in | out; 'hard' also\n"
+      "                        kills the carrying TCP connection\n"
+      "  --torn-write=P --bit-flip=P\n"
+      "                        per-log-force storage-fault probabilities\n"
+      "  --recovery            enable the recovery layer without faults\n"
+      "                        (any fault flag enables it implicitly;\n"
+      "                        ccload must be started with matching fault\n"
+      "                        flags so both sides run recovery mode)\n"
       "  --help                this text\n");
 }
 
@@ -79,6 +101,13 @@ bool ParseValue(const char* arg, const char* name, std::string* out) {
 
 volatile std::sig_atomic_t g_signal = 0;
 void OnSignal(int sig) { g_signal = sig; }
+
+/// Post-crash recovery: replay the log, then readmit inbound traffic.
+ccsim::sim::Process RecoverServer(ccsim::server::Server* server,
+                                  ccsim::fault::FaultInjector* injector) {
+  co_await server->Recover();
+  injector->SetDown(ccsim::net::kServerNode, false);
+}
 
 }  // namespace
 
@@ -119,6 +148,78 @@ int main(int argc, char** argv) {
           std::strtoull(value.c_str(), nullptr, 10));
     } else if (ParseValue(arg, "--duration", &value)) {
       duration_s = std::atof(value.c_str());
+    } else if (std::strcmp(arg, "--recovery") == 0) {
+      cfg.fault.recovery_enabled = true;
+    } else if (ParseValue(arg, "--drop", &value)) {
+      cfg.fault.drop_probability = std::atof(value.c_str());
+      cfg.fault.recovery_enabled = true;
+    } else if (ParseValue(arg, "--dup", &value)) {
+      cfg.fault.duplicate_probability = std::atof(value.c_str());
+      cfg.fault.recovery_enabled = true;
+    } else if (ParseValue(arg, "--spike", &value)) {
+      const std::size_t colon = value.find(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "--spike wants P:MS\n");
+        return 2;
+      }
+      cfg.fault.delay_spike_probability =
+          std::atof(value.substr(0, colon).c_str());
+      cfg.fault.delay_spike_ms = std::atof(value.substr(colon + 1).c_str());
+      cfg.fault.recovery_enabled = true;
+    } else if (ParseValue(arg, "--crash", &value)) {
+      const std::size_t colon = value.find(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "--crash wants AT:DOWN\n");
+        return 2;
+      }
+      ccsim::config::FaultParams::CrashEvent crash;
+      crash.node = ccsim::net::kServerNode;  // self-crash only
+      crash.at_s = std::atof(value.substr(0, colon).c_str());
+      crash.downtime_s = std::atof(value.substr(colon + 1).c_str());
+      cfg.fault.crashes.push_back(crash);
+      cfg.fault.recovery_enabled = true;
+    } else if (ParseValue(arg, "--partition", &value)) {
+      const std::size_t c1 = value.find(':');
+      const std::size_t c2 =
+          c1 == std::string::npos ? std::string::npos : value.find(':', c1 + 1);
+      if (c2 == std::string::npos) {
+        std::fprintf(stderr, "--partition wants NODE:AT:DUR[:DIR][:hard]\n");
+        return 2;
+      }
+      const std::size_t c3 = value.find(':', c2 + 1);
+      ccsim::config::FaultParams::PartitionEvent part;
+      part.node = std::atoi(value.substr(0, c1).c_str());
+      part.at_s = std::atof(value.substr(c1 + 1, c2 - c1 - 1).c_str());
+      part.duration_s = std::atof(value.substr(c2 + 1, c3 - c2 - 1).c_str());
+      for (std::size_t pos = c3; pos != std::string::npos;) {
+        const std::size_t next = value.find(':', pos + 1);
+        const std::string token = value.substr(
+            pos + 1,
+            next == std::string::npos ? std::string::npos : next - pos - 1);
+        if (token == "both") {
+          part.direction = 0;
+        } else if (token == "in") {
+          part.direction = 1;
+        } else if (token == "out") {
+          part.direction = 2;
+        } else if (token == "hard") {
+          part.hard = true;
+        } else {
+          std::fprintf(stderr,
+                       "--partition DIR wants both|in|out (optionally "
+                       "followed by :hard)\n");
+          return 2;
+        }
+        pos = next;
+      }
+      cfg.fault.partitions.push_back(part);
+      cfg.fault.recovery_enabled = true;
+    } else if (ParseValue(arg, "--torn-write", &value)) {
+      cfg.fault.torn_write_probability = std::atof(value.c_str());
+      cfg.fault.recovery_enabled = true;
+    } else if (ParseValue(arg, "--bit-flip", &value)) {
+      cfg.fault.bit_flip_probability = std::atof(value.c_str());
+      cfg.fault.recovery_enabled = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg);
       return 2;
@@ -154,9 +255,52 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "listen failed: %s\n", error.c_str());
     return 1;
   }
-  node.network().set_transport(transport.get());
   ccsim::substrate::TcpServerTransport* t = transport.get();
-  node.substrate().set_flush_hook([t] { return t->Flush(); });
+  const ccsim::fault::FaultPlan plan = ccsim::fault::MakePlan(cfg.fault);
+  const bool wire_faults =
+      plan.link.Any() || !plan.crashes.empty() || !plan.partitions.empty();
+  std::unique_ptr<ccsim::substrate::WireFaultAdapter> adapter;
+  if (wire_faults) {
+    adapter = std::make_unique<ccsim::substrate::WireFaultAdapter>(
+        plan, cfg.control.seed, &node.substrate(), t);
+    ccsim::substrate::WireFaultAdapter* ad = adapter.get();
+    node.network().set_transport(ad);
+    node.substrate().set_flush_hook([ad] { return ad->Flush(); });
+    node.InstallInboundFilter(
+        [ad](const ccsim::net::Message& msg) { return ad->AllowInbound(msg); });
+    // Plant the fault windows before the loop thread exists: plan ticks
+    // are wall µs relative to the loop epoch (Run() start).
+    ccsim::sim::Simulator& sim = node.substrate().sim();
+    ccsim::server::Server* srv = &node.server();
+    ccsim::fault::FaultInjector* inj = &ad->injector();
+    for (const ccsim::fault::CrashWindow& crash : plan.crashes) {
+      sim.ScheduleAt(crash.at, [inj, t, srv] {
+        inj->SetDown(ccsim::net::kServerNode, true);
+        t->SeverAll();  // a real crash takes the TCP endpoints with it
+        srv->Crash();
+      });
+      ccsim::sim::Simulator* simp = &sim;
+      sim.ScheduleAt(crash.at + crash.downtime, [simp, srv, inj] {
+        simp->Spawn(RecoverServer(srv, inj));
+      });
+    }
+    for (const ccsim::fault::PartitionWindow& part : plan.partitions) {
+      const int pnode = part.node;
+      const ccsim::fault::PartitionWindow::Direction dir = part.direction;
+      sim.ScheduleAt(part.at, [inj, t, pnode, dir, hard = part.hard] {
+        inj->SetPartitioned(pnode, dir, true);
+        if (hard) {
+          t->SeverClient(pnode);
+        }
+      });
+      sim.ScheduleAt(part.at + part.duration, [inj, pnode, dir] {
+        inj->SetPartitioned(pnode, dir, false);
+      });
+    }
+  } else {
+    node.network().set_transport(t);
+    node.substrate().set_flush_hook([t] { return t->Flush(); });
+  }
   node.Start();
 
   if (!port_file.empty()) {
@@ -195,6 +339,14 @@ int main(int argc, char** argv) {
   }
   node.substrate().Stop();
   loop.join();
+  // A signal can land mid-flush: finish the write-out (bounded) so peers
+  // see complete frames, or poison the dirty connections so they see a
+  // clean cut instead of a torn frame.
+  const bool drained = transport->DrainOrPoison(2.0);
+  if (!drained) {
+    std::printf("ccserve: shutdown flush timed out — poisoned dirty "
+                "connections (peers see RST, not a torn frame)\n");
+  }
   transport->Close();
   node.FinalizeChecker();
 
@@ -214,6 +366,29 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(
           node.server().locks().deadlocks_detected()),
       static_cast<unsigned long long>(node.metrics().shed_requests()));
+  if (adapter != nullptr) {
+    const ccsim::fault::FaultInjector& inj = adapter->injector();
+    std::printf(
+        "ccserve: wire faults — dropped %llu, duplicated %llu, spikes %llu, "
+        "down-drops %llu, partition-drops %llu\n",
+        static_cast<unsigned long long>(inj.messages_dropped()),
+        static_cast<unsigned long long>(inj.messages_duplicated()),
+        static_cast<unsigned long long>(inj.delay_spikes()),
+        static_cast<unsigned long long>(inj.down_drops()),
+        static_cast<unsigned long long>(inj.partition_drops()));
+    std::printf(
+        "ccserve: crashes %llu (recovery %.3f s), torn writes %llu, "
+        "bit flips %llu, log rewrites %llu, records truncated %llu\n",
+        static_cast<unsigned long long>(node.metrics().server_crashes()),
+        ccsim::sim::TicksToSeconds(node.metrics().recovery_ticks()),
+        static_cast<unsigned long long>(
+            node.server().log().torn_writes_detected()),
+        static_cast<unsigned long long>(
+            node.server().log().bit_flips_detected()),
+        static_cast<unsigned long long>(node.server().log().log_rewrites()),
+        static_cast<unsigned long long>(
+            node.server().log().records_truncated()));
+  }
   if (node.checker() != nullptr) {
     std::printf("ccserve: oracle clean — %llu commits checked, %llu edges\n",
                 static_cast<unsigned long long>(

@@ -71,11 +71,13 @@ void PrintUsage() {
       "  --spike=P:MS            delay-spike probability and size\n"
       "  --crash=NODE:AT:DOWN    crash NODE (-1 = server) at AT s for DOWN s\n"
       "                          (repeatable)\n"
-      "  --partition=NODE:AT:DUR[:DIR]\n"
+      "  --partition=NODE:AT:DUR[:DIR][:hard]\n"
       "                          cut client NODE's link at AT s for DUR s;\n"
       "                          DIR = both | in | out (default both;\n"
-      "                          in = client->server only). Repeatable;\n"
-      "                          enables recovery\n"
+      "                          in = client->server only). 'hard' also\n"
+      "                          kills the TCP connection at window start\n"
+      "                          (real substrate; no-op on sim).\n"
+      "                          Repeatable; enables recovery\n"
       "  --torn-write=P          per-log-force torn-write probability\n"
       "  --bit-flip=P            per-log-force bit-flip probability\n"
       "  --queue-limit=N         bound the server ready queue (shed beyond)\n"
@@ -85,7 +87,9 @@ void PrintUsage() {
       "                          (seeds --seed .. --seed+N-1) across all\n"
       "                          five protocols with the oracle on; exits\n"
       "                          non-zero and prints the failing seed's\n"
-      "                          plan on any violation\n"
+      "                          plan on any violation. With\n"
+      "                          --substrate=real the cocktails run on the\n"
+      "                          wire (sequentially; use a smaller N)\n"
       "  --recovery              enable the recovery layer without faults\n"
       "  --check                 enable the consistency oracle (serializa-\n"
       "                          bility + coherence audits; aborts with a\n"
@@ -93,8 +97,10 @@ void PrintUsage() {
       "  --rpc-timeout-ms=D --lease-ms=D --idle-timeout-ms=D\n"
       "  --substrate=NAME        sim (default: deterministic discrete-event\n"
       "                          simulation) | real (threads + TCP loopback,\n"
-      "                          wall-clock paced; rejects sim-only flags\n"
-      "                          such as fault injection)\n"
+      "                          wall-clock paced; fault plans run on the\n"
+      "                          wire — only sim-only flags such as\n"
+      "                          --record-history and client crashes are\n"
+      "                          rejected)\n"
       "  --duration=S            real-substrate measurement window in wall\n"
       "                          seconds (default 5)\n"
       "  --shards=N              real-substrate load-generator threads\n"
@@ -359,6 +365,127 @@ int RunChaosSoak(int n, std::uint64_t base_seed, int jobs) {
   return failures == 0 ? 0 : 1;
 }
 
+/// Derives a wire-level fault cocktail that fits a short wall-clock run:
+/// lossy links, usually one server crash+restart, usually one partition
+/// window (sometimes hard). Windows land inside warmup(1s)+duration(3s).
+ExperimentConfig MakeRealChaosConfig(std::uint64_t seed, std::string* plan) {
+  ccsim::sim::Pcg32 rng(seed, /*stream=*/0xC0C8);
+  ExperimentConfig cfg = ccsim::config::BaseConfig();
+  cfg.system.num_clients = 8;
+  cfg.control.seed = seed;
+  cfg.control.warmup_seconds = 1;
+  cfg.control.max_measure_seconds = 30;
+  cfg.fault.recovery_enabled = true;
+  cfg.checker.enabled = true;
+  ccsim::config::FaultParams& f = cfg.fault;
+  f.drop_probability = rng.UniformReal(0.01, 0.04);
+  f.duplicate_probability = rng.UniformReal(0.0, 0.02);
+  f.delay_spike_probability = rng.UniformReal(0.0, 0.05);
+  f.delay_spike_ms = rng.UniformReal(2.0, 10.0);
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), "drop=%.3f dup=%.3f spike=%.3f:%.0fms",
+                f.drop_probability, f.duplicate_probability,
+                f.delay_spike_probability, f.delay_spike_ms);
+  *plan = buf;
+  if (rng.Bernoulli(0.7)) {
+    ccsim::config::FaultParams::CrashEvent crash;
+    crash.node = -1;  // the server
+    crash.at_s = rng.UniformReal(1.5, 2.2);
+    crash.downtime_s = rng.UniformReal(0.2, 0.4);
+    f.crashes.push_back(crash);
+    std::snprintf(buf, sizeof(buf), " crash=-1:%.1f:%.1f", crash.at_s,
+                  crash.downtime_s);
+    *plan += buf;
+  }
+  if (rng.Bernoulli(0.7)) {
+    ccsim::config::FaultParams::PartitionEvent part;
+    part.node = static_cast<int>(
+        rng.UniformInt(0, cfg.system.num_clients - 1));
+    part.at_s = rng.UniformReal(1.0, 2.0);
+    part.duration_s = rng.UniformReal(0.3, 0.8);
+    part.direction = static_cast<int>(rng.UniformInt(0, 2));
+    part.hard = rng.Bernoulli(0.5);
+    f.partitions.push_back(part);
+    static const char* const kDirNames[] = {"both", "in", "out"};
+    std::snprintf(buf, sizeof(buf), " partition=%d:%.1f:%.1f:%s%s",
+                  part.node, part.at_s, part.duration_s,
+                  kDirNames[part.direction], part.hard ? ":hard" : "");
+    *plan += buf;
+  }
+  if (rng.Bernoulli(0.4)) {
+    f.torn_write_probability = rng.UniformReal(0.02, 0.2);
+    std::snprintf(buf, sizeof(buf), " torn=%.3f", f.torn_write_probability);
+    *plan += buf;
+  }
+  return cfg;
+}
+
+/// Real-substrate chaos soak: `n` seeded wire cocktails across all five
+/// protocols, each on the threads+TCP substrate with the oracle on. Runs
+/// are sequential — one real run already spreads across every core via
+/// its shard threads — so wall clock is ~(4s + teardown) x 5 x n; use a
+/// smaller seed count than the DES soak.
+int RunRealChaosSoak(int n, std::uint64_t base_seed) {
+  int failures = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    std::string plan;
+    ExperimentConfig cfg = MakeRealChaosConfig(seed, &plan);
+    std::printf("real chaos seed %llu: %s\n",
+                static_cast<unsigned long long>(seed), plan.c_str());
+    std::fflush(stdout);
+    for (const char* name : kSoakAlgorithms) {
+      for (const AlgorithmChoice& choice : kAlgorithms) {
+        if (std::strcmp(name, choice.name) == 0) {
+          cfg.algorithm.algorithm = choice.algorithm;
+          cfg.algorithm.caching = choice.caching;
+          break;
+        }
+      }
+      ccsim::runner::RealRunOptions opts;
+      opts.warmup_seconds = 1.0;
+      opts.duration_seconds = 3.0;
+      const ccsim::Result<RunResult> result =
+          ccsim::runner::RunRealExperiment(cfg, opts);
+      std::string verdict;
+      if (!result.ok()) {
+        verdict = result.status().ToString();
+      } else {
+        const RunResult& r = result.ValueOrDie();
+        if (r.commits == 0) {
+          verdict = "ZERO COMMITS";
+        } else if (r.transactions_lost > 0) {
+          verdict = "LOST TRANSACTIONS";
+        } else {
+          std::printf(
+              "  %s: ok (commits %llu, dropped %llu, part-drops %llu, "
+              "crashes %llu, retries %llu)\n",
+              name, static_cast<unsigned long long>(r.commits),
+              static_cast<unsigned long long>(r.messages_dropped),
+              static_cast<unsigned long long>(r.partition_drops),
+              static_cast<unsigned long long>(r.server_crashes),
+              static_cast<unsigned long long>(r.rpc_retries));
+        }
+      }
+      if (!verdict.empty()) {
+        ++failures;
+        std::printf("  %s: FAILED — %s\n", name, verdict.c_str());
+        std::printf("  repro: ccsim_run --substrate=real --chaos-soak=1 "
+                    "--seed=%llu\n",
+                    static_cast<unsigned long long>(seed));
+      }
+      std::fflush(stdout);
+    }
+  }
+  if (failures == 0) {
+    std::printf("real chaos soak: %d seeds x %d protocols, all clean\n", n,
+                kSoakAlgorithmCount);
+  } else {
+    std::printf("real chaos soak: %d runs FAILED\n", failures);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -491,7 +618,7 @@ int main(int argc, char** argv) {
       const std::size_t c2 =
           c1 == std::string::npos ? std::string::npos : value.find(':', c1 + 1);
       if (c2 == std::string::npos) {
-        std::fprintf(stderr, "--partition wants NODE:AT:DUR[:DIR]\n");
+        std::fprintf(stderr, "--partition wants NODE:AT:DUR[:DIR][:hard]\n");
         return 2;
       }
       const std::size_t c3 = value.find(':', c2 + 1);
@@ -499,18 +626,26 @@ int main(int argc, char** argv) {
       part.node = std::atoi(value.substr(0, c1).c_str());
       part.at_s = std::atof(value.substr(c1 + 1, c2 - c1 - 1).c_str());
       part.duration_s = std::atof(value.substr(c2 + 1, c3 - c2 - 1).c_str());
-      if (c3 != std::string::npos) {
-        const std::string dir = value.substr(c3 + 1);
-        if (dir == "both") {
+      for (std::size_t pos = c3; pos != std::string::npos;) {
+        const std::size_t next = value.find(':', pos + 1);
+        const std::string token = value.substr(
+            pos + 1,
+            next == std::string::npos ? std::string::npos : next - pos - 1);
+        if (token == "both") {
           part.direction = 0;
-        } else if (dir == "in") {
+        } else if (token == "in") {
           part.direction = 1;
-        } else if (dir == "out") {
+        } else if (token == "out") {
           part.direction = 2;
+        } else if (token == "hard") {
+          part.hard = true;
         } else {
-          std::fprintf(stderr, "--partition DIR wants both|in|out\n");
+          std::fprintf(stderr,
+                       "--partition DIR wants both|in|out (optionally "
+                       "followed by :hard)\n");
           return 2;
         }
+        pos = next;
       }
       cfg.fault.partitions.push_back(part);
       cfg.fault.recovery_enabled = true;
@@ -590,16 +725,19 @@ int main(int argc, char** argv) {
 
   const bool real_substrate = substrate_name == "real";
   if (real_substrate) {
-    if (chaos_soak > 0 || !sweep_clients.empty()) {
+    if (!sweep_clients.empty()) {
       std::fprintf(stderr,
                    "--substrate=real runs one experiment at a time (no "
-                   "--chaos-soak / --sweep-clients)\n");
+                   "--sweep-clients)\n");
       return 2;
     }
     // The sim default of 30 warmup seconds is simulated time; at wall-clock
     // pace it would just be a long wait. Default to 1 s unless asked.
     real_options.warmup_seconds = warmup_flag ? cfg.control.warmup_seconds
                                               : 1.0;
+    if (chaos_soak > 0) {
+      return RunRealChaosSoak(chaos_soak, cfg.control.seed);
+    }
   }
 
   if (chaos_soak > 0) {
@@ -643,11 +781,16 @@ int main(int argc, char** argv) {
     return 1;
   }
   const RunResult& r = result.ValueOrDie();
+  // Exit contract: stalls are 3; a real-substrate run that lost a driven
+  // transaction (conservation break) is 4 even when it otherwise finished.
+  const int exit_code =
+      r.stalled ? 3
+                : (real_substrate && r.transactions_lost > 0 ? 4 : 0);
 
   if (csv) {
     PrintCsvHeader();
     PrintCsvRow(algorithm_name, cfg, r);
-    return 0;
+    return exit_code;
   }
 
   std::printf("algorithm          : %s\n", algorithm_name.c_str());
@@ -739,5 +882,5 @@ int main(int argc, char** argv) {
     std::printf("oracle             : %s\n",
                 ccsim::runner::OracleSummary(r).c_str());
   }
-  return r.stalled ? 3 : 0;
+  return exit_code;
 }

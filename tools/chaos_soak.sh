@@ -6,15 +6,33 @@
 # the soak and prints the failing seed plus its fault plan; re-run a
 # single seed with `ccsim_run --chaos-soak=1 --seed=N`.
 #
-# Usage: tools/chaos_soak.sh [N] [build-dir]
-#   N          number of seeds (default 50; seeds run 1..N)
+# With --substrate=real the cocktails run on real threads + TCP loopback
+# instead of the DES: frame-level drop/duplicate/delay-spike, scheduled
+# (possibly hard) partitions, and server crash + log-replay restart. Real
+# runs are wall-clock paced (~4 s per protocol per seed, sequential), so
+# the default seed count is much smaller; re-run one seed with
+# `ccsim_run --substrate=real --chaos-soak=1 --seed=N`.
+#
+# Usage: tools/chaos_soak.sh [--substrate=real] [N] [build-dir]
+#   N          number of seeds (default 50 sim / 3 real; seeds run 1..N)
 #   build-dir  tree containing tools/ccsim_run (default: build)
 # Environment:
-#   CCSIM_JOBS  worker threads (default: all cores)
+#   CCSIM_JOBS  worker threads, sim substrate only (default: all cores)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-n="${1:-50}"
+substrate="sim"
+if [[ "${1:-}" == --substrate=* ]]; then
+  substrate="${1#--substrate=}"
+  shift
+fi
+case "$substrate" in
+  sim) default_n=50 ;;
+  real) default_n=3 ;;
+  *) echo "error: --substrate wants sim or real, got '$substrate'" >&2
+     exit 2 ;;
+esac
+n="${1:-$default_n}"
 build_dir="${2:-$repo_root/build}"
 jobs="${CCSIM_JOBS:-$(nproc)}"
 
@@ -24,4 +42,7 @@ if [[ ! -x "$runner" ]]; then
   exit 2
 fi
 
+if [[ "$substrate" == "real" ]]; then
+  exec "$runner" --substrate=real --chaos-soak="$n" --seed=1
+fi
 exec "$runner" --chaos-soak="$n" --seed=1 --jobs="$jobs"

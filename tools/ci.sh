@@ -15,18 +15,22 @@
 #      driven by ccload for each of the five protocols; a lost transaction,
 #      a conservation violation, zero commits, or an unclean server
 #      shutdown fails the leg,
-#   7. a perf-smoke gate (ctest -L perf-smoke): the allocation-free
+#   7. a real-substrate chaos cocktail: each of the five protocols runs on
+#      threads + TCP with frame drop/duplicate/delay-spike, one hard
+#      partition, and one server crash + log-replay restart, oracle on; a
+#      lost transaction (exit 4), an oracle violation, or a stall fails,
+#   8. a perf-smoke gate (ctest -L perf-smoke): the allocation-free
 #      steady-state contracts — the event kernel's Delay/broadcast paths
 #      AND the real-substrate wire path (encode/flush/split/decode) — are
 #      asserted exactly via a counting operator new,
-#   8. a real-substrate throughput floor: the loopback probe (same config
+#   9. a real-substrate throughput floor: the loopback probe (same config
 #      bench_baseline.sh records) must not fall more than
 #      CCSIM_CI_TPUT_TOLERANCE percent below the tracked
 #      BENCH_kernel.json real_substrate number. Wall-clock throughput is
 #      host- and build-sensitive, so the gate self-skips (with a message)
 #      under a sanitizer, in a Debug build, or when the baseline was
 #      recorded on a host with a different core count,
-#   9. a checker-overhead budget gate: the tracked BENCH_kernel.json must
+#  10. a checker-overhead budget gate: the tracked BENCH_kernel.json must
 #      record on_overhead_pct <= CCSIM_CI_CHECKER_BUDGET (default 12) — the
 #      price of the always-on verifier is a CI-enforced contract, not a
 #      hope.
@@ -103,6 +107,19 @@ for algo in 2pl cert callback no-wait no-wait-notify; do
       --clients=8 --duration="$smoke_secs" --warmup=1
   kill -TERM "$serve_pid" 2>/dev/null || true
   wait "$serve_pid"
+done
+
+step "real-substrate chaos cocktail (5 protocols, drop+dup+spike+hard-partition+crash)"
+# The wire-level fault plan from DESIGN.md §5c on real threads + TCP:
+# 2% frame drop, 1% duplicate, 5% 5 ms delay spikes, one hard partition
+# (TCP connection killed mid-run), one server crash + log-replay restart.
+# ccsim_run exits 4 if any committed transaction was lost, non-zero on an
+# oracle violation or stall; set -e propagates.
+for algo in 2pl cert callback no-wait no-wait-notify; do
+  "$build_dir"/tools/ccsim_run --substrate=real --algorithm="$algo" \
+      --clients=8 --duration=4 --check \
+      --drop=0.02 --dup=0.01 --spike=0.05:5 \
+      --partition=0:1.5:0.5:hard --crash=-1:2.5:0.3
 done
 
 step "perf-smoke gate (allocation-free steady states, ctest -L perf-smoke)"
